@@ -1,0 +1,141 @@
+// Ablation: BWD design choices (DESIGN.md Section 5).
+//  (1) Heuristic ablation: which of the three signals (uniform LBR, zero L1D
+//      misses, zero TLB misses) are needed? LBR alone has a measurable FP
+//      rate on miss-free tight loops... actually tight loops defeat all
+//      three; the misses distinguish ordinary code whose recent branches
+//      happen to be uniform. We measure sensitivity/specificity per combo.
+//  (2) Timer-interval sweep: detection latency vs timer overhead.
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/microbench.h"
+#include "workloads/suite.h"
+
+using namespace eo;
+
+namespace {
+
+struct Combo {
+  const char* label;
+  bool lbr, l1, tlb;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.3);
+  bench::print_header("Ablation (BWD)", "heuristic combinations");
+  {
+    const std::vector<Combo> combos = {
+        {"lbr-only", true, false, false},
+        {"lbr+l1", true, true, false},
+        {"lbr+tlb", true, false, true},
+        {"all-three", true, true, true},
+        {"misses-only", false, true, true},
+    };
+    struct Out {
+      double sens = 0, spec = 0;
+    };
+    std::vector<Out> out(combos.size());
+    ThreadPool::parallel_for(combos.size() * 2, [&](std::size_t job) {
+      const auto ci = job / 2;
+      const bool sens_run = job % 2 == 0;
+      core::Features f = core::Features::optimized();
+      f.vb_futex = f.vb_epoll = false;
+      f.bwd_use_lbr = combos[ci].lbr;
+      f.bwd_use_l1 = combos[ci].l1;
+      f.bwd_use_tlb = combos[ci].tlb;
+      metrics::RunConfig rc;
+      rc.features = f;
+      rc.deadline = 600_s;
+      if (sens_run) {
+        rc.cpus = 1;
+        rc.sockets = 1;
+        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          auto lock = std::shared_ptr<locks::SpinLock>(locks::make_spinlock(
+              locks::SpinLockKind::kTicket, k, 2));
+          workloads::spawn_tp_pair(
+              k, lock, static_cast<SimDuration>(1_s * scale));
+        });
+        out[ci].sens = r.bwd.sensitivity() * 100.0;
+      } else {
+        rc.cpus = 8;
+        rc.sockets = 2;
+        const auto& spec = workloads::find_benchmark("is");
+        rc.ref_footprint = spec.ref_footprint();
+        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, spec, 32, 7, scale);
+        });
+        out[ci].spec = r.bwd.specificity() * 100.0;
+      }
+    });
+    metrics::TablePrinter t({"heuristics", "sensitivity(%)", "specificity(%)"});
+    for (std::size_t ci = 0; ci < combos.size(); ++ci) {
+      t.add_row({combos[ci].label, metrics::TablePrinter::num(out[ci].sens),
+                 metrics::TablePrinter::num(out[ci].spec)});
+    }
+    t.print();
+  }
+
+  bench::print_header("Ablation (BWD)", "monitoring interval sweep");
+  {
+    const std::vector<SimDuration> intervals = {25_us, 50_us, 100_us, 200_us,
+                                                400_us, 800_us};
+    struct Out {
+      double lock_ms = 0, overhead_pct = 0;
+    };
+    std::vector<Out> out(intervals.size());
+    double baseline_ms = 0;
+    {
+      // No-BWD reference for the timer-overhead column.
+      metrics::RunConfig rc;
+      rc.cpus = 8;
+      rc.sockets = 2;
+      rc.deadline = 600_s;
+      const auto& spec = workloads::find_benchmark("ft");
+      rc.ref_footprint = spec.ref_footprint();
+      const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+        workloads::spawn_benchmark(k, spec, 8, 7, scale);
+      });
+      baseline_ms = to_ms(r.exec_time);
+    }
+    ThreadPool::parallel_for(intervals.size() * 2, [&](std::size_t job) {
+      const auto ii = job / 2;
+      const bool lock_run = job % 2 == 0;
+      core::Features f;
+      f.bwd = true;
+      f.bwd_interval = intervals[ii];
+      metrics::RunConfig rc;
+      rc.features = f;
+      rc.cpus = 8;
+      rc.sockets = 2;
+      rc.deadline = 2000_s;
+      if (lock_run) {
+        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          auto lock = std::shared_ptr<locks::SpinLock>(locks::make_spinlock(
+              locks::SpinLockKind::kTicket, k, 32));
+          workloads::spawn_lock_contention(
+              k, lock, 32, std::max(50, static_cast<int>(800 * scale)), 5_us,
+              15_us);
+        });
+        out[ii].lock_ms = to_ms(r.exec_time);
+      } else {
+        const auto& spec = workloads::find_benchmark("ft");
+        rc.ref_footprint = spec.ref_footprint();
+        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, spec, 8, 7, scale);
+        });
+        out[ii].overhead_pct =
+            (to_ms(r.exec_time) - baseline_ms) / baseline_ms * 100.0;
+      }
+    });
+    metrics::TablePrinter t({"interval(us)", "ticket-lock 32T (ms)",
+                             "timer overhead on ft 8T (%)"});
+    for (std::size_t ii = 0; ii < intervals.size(); ++ii) {
+      t.add_row({std::to_string(intervals[ii] / 1000),
+                 metrics::TablePrinter::num(out[ii].lock_ms, 1),
+                 metrics::TablePrinter::num(out[ii].overhead_pct)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: VB design choices (DESIGN.md Section 5).
+//  (1) auto-disable threshold on/off: with the threshold off, VB parks even
+//      single mutex waiters; the paper's rule avoids VB when all waiters can
+//      get dedicated cores on wakeup.
+//  (2) flag-check quantum sweep: the quantum trades responsiveness when all
+//      threads on a core are parked against switch churn.
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/microbench.h"
+
+using namespace eo;
+
+namespace {
+
+double run_prim(workloads::SyncPrimitive prim, int threads, int cores,
+                core::Features f, core::CostModel costs, int iters) {
+  metrics::RunConfig rc;
+  rc.cpus = cores;
+  rc.sockets = cores > 8 ? 2 : 1;
+  rc.features = f;
+  rc.costs = costs;
+  rc.deadline = 600_s;
+  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+    workloads::spawn_sync_micro(k, threads, prim, iters);
+  });
+  return to_ms(r.exec_time);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.25);
+  const int iters = std::max(200, static_cast<int>(6000 * scale));
+
+  bench::print_header("Ablation (VB)", "auto-disable threshold");
+  {
+    metrics::TablePrinter t({"primitive", "vanilla(ms)", "VB+auto(ms)",
+                             "VB-always(ms)"});
+    for (const auto prim : {workloads::SyncPrimitive::kMutex,
+                            workloads::SyncPrimitive::kBarrier,
+                            workloads::SyncPrimitive::kCond}) {
+      core::Features vb_auto = core::Features::optimized();
+      core::Features vb_always = core::Features::optimized();
+      vb_always.vb_auto_disable = false;
+      const double v =
+          run_prim(prim, 32, 8, core::Features::vanilla(), {}, iters);
+      const double a = run_prim(prim, 32, 8, vb_auto, {}, iters);
+      const double w = run_prim(prim, 32, 8, vb_always, {}, iters);
+      t.add_row({workloads::to_string(prim), metrics::TablePrinter::num(v, 1),
+                 metrics::TablePrinter::num(a, 1),
+                 metrics::TablePrinter::num(w, 1)});
+    }
+    t.print();
+  }
+
+  bench::print_header("Ablation (VB)", "flag-check quantum sweep (barrier, 32T/8c)");
+  {
+    metrics::TablePrinter t({"quantum(us)", "exec(ms)"});
+    for (const SimDuration q : {250_ns * 1, 500_ns * 1, 1_us, 2_us, 5_us, 20_us}) {
+      core::CostModel costs;
+      costs.vb_check_quantum = q;
+      const double ms =
+          run_prim(workloads::SyncPrimitive::kBarrier, 32, 8,
+                   core::Features::optimized(), costs, iters);
+      t.add_row({metrics::TablePrinter::num(static_cast<double>(q) / 1000.0, 2),
+                 metrics::TablePrinter::num(ms, 1)});
+    }
+    t.print();
+  }
+  return 0;
+}

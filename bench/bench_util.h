@@ -1,0 +1,44 @@
+// Shared helpers for the bench harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper. The
+// binaries take an optional positional argument: a duration scale factor
+// (default chosen per bench) that multiplies the simulated round counts, so
+// `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
+// keeps `for b in build/bench/*; do $b; done` quick.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "metrics/experiment.h"
+#include "metrics/table_printer.h"
+
+namespace eo::bench {
+
+inline double parse_scale(int argc, char** argv, double def) {
+  if (argc > 1) {
+    const double s = std::atof(argv[1]);
+    if (s > 0) return s;
+  }
+  return def;
+}
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("=== %s: %s ===\n", id, what);
+}
+
+inline std::string ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+inline std::string ms(SimDuration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", to_ms(d));
+  return buf;
+}
+
+}  // namespace eo::bench

@@ -1,0 +1,52 @@
+// Figure 1: performance of the 32 PARSEC/SPLASH-2/NPB benchmark models with
+// (32T) and without (8T) thread oversubscription on 8 cores, vanilla kernel.
+// Values are 32T execution time normalized to 8T; the paper's three groups
+// should appear: ~1.0 (unaffected), <1.0 (benefit), and >1 up to ~25x
+// (suffering; dedup/cholesky/lu are the annotated outliers).
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/suite.h"
+
+using namespace eo;
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.2);
+  bench::print_header("Figure 1", "normalized execution time, 32T vs 8T on 8 cores");
+
+  const auto& all = workloads::suite();
+  struct Row {
+    double t8 = 0, t32 = 0;
+  };
+  std::vector<Row> rows(all.size());
+
+  ThreadPool::parallel_for(all.size() * 2, [&](std::size_t job) {
+    const auto& spec = all[job / 2];
+    const int threads = (job % 2 == 0) ? 8 : 32;
+    metrics::RunConfig rc;
+    rc.cpus = 8;
+    rc.sockets = 2;
+    rc.features = core::Features::vanilla();
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 600_s;
+    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, threads, /*seed=*/7, scale);
+    });
+    if (job % 2 == 0) {
+      rows[job / 2].t8 = to_ms(r.exec_time);
+    } else {
+      rows[job / 2].t32 = to_ms(r.exec_time);
+    }
+  });
+
+  metrics::TablePrinter table(
+      {"benchmark", "suite", "sync", "8T(ms)", "32T(ms)", "normalized"});
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    table.add_row({all[i].name, all[i].origin,
+                   workloads::to_string(all[i].sync),
+                   metrics::TablePrinter::num(rows[i].t8, 1),
+                   metrics::TablePrinter::num(rows[i].t32, 1),
+                   metrics::TablePrinter::num(rows[i].t32 / rows[i].t8)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 2: the direct cost of context switching.
+//  (a) pure computation: N threads share one core, yielding every 750 µs;
+//      the per-context-switch cost should be ~1.5 µs and the total overhead
+//      ~0.2%, flat in the thread count.
+//  (b) computation with synchronization: one shared atomic fetch-add per
+//      chunk adds no extra oversubscription overhead.
+#include "bench_util.h"
+#include "workloads/microbench.h"
+
+using namespace eo;
+
+namespace {
+
+struct Point {
+  int threads;
+  double norm;          // execution time normalized to 1 thread
+  double per_cs_us;     // measured direct cost per context switch
+};
+
+std::vector<Point> run_variant(bool with_atomic, SimDuration total_work,
+                               double scale) {
+  const auto work = static_cast<SimDuration>(total_work * scale);
+  std::vector<Point> out;
+  double t1 = 0;
+  for (int threads = 1; threads <= 8; ++threads) {
+    metrics::RunConfig rc;
+    rc.cpus = 1;
+    rc.sockets = 1;
+    rc.deadline = 600_s;
+    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      if (with_atomic) {
+        workloads::spawn_compute_atomic(k, threads, work, 750_us);
+      } else {
+        workloads::spawn_compute_yield(k, threads, work, 750_us);
+      }
+    });
+    const double t = to_ms(r.exec_time);
+    if (threads == 1) t1 = t;
+    const auto switches = r.stats.context_switches;
+    const double per_cs =
+        switches > 0 ? (t - t1) * 1000.0 / static_cast<double>(switches) : 0.0;
+    out.push_back({threads, t / t1, per_cs});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 1.0);
+  bench::print_header("Figure 2(a)", "pure computation, yield every 750us, 1 core");
+  {
+    metrics::TablePrinter t({"threads", "normalized", "per-CS cost (us)"});
+    for (const auto& p : run_variant(false, 2_s, scale)) {
+      t.add_row({std::to_string(p.threads), metrics::TablePrinter::num(p.norm, 3),
+                 metrics::TablePrinter::num(p.per_cs_us)});
+    }
+    t.print();
+  }
+  bench::print_header("Figure 2(b)",
+                      "computation with shared atomic fetch-add per chunk");
+  {
+    metrics::TablePrinter t({"threads", "normalized", "per-CS cost (us)"});
+    for (const auto& p : run_variant(true, 2_s, scale)) {
+      t.add_row({std::to_string(p.threads), metrics::TablePrinter::num(p.norm, 3),
+                 metrics::TablePrinter::num(p.per_cs_us)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 4: the indirect cost of context switches. Two threads pinned to one
+// core traverse disjoint halves of an array (strong scaling), yielding after
+// each pass; the indirect cost per switch is (t_2threads - t_1thread) / #CS.
+// Expected shape (paper Section 2.3):
+//  * seq-r / seq-rmw: cost climbs from ~512 KB (sub-arrays spill the L2 and
+//    the prefetch streams restart cold), reaching ~1 ms/CS at 128 MB;
+//  * rnd-r: negative (oversubscription HELPS) at 256-512 KB (sub-array
+//    translations fit the L1 dTLB), positive between 1-4 MB (no TLB gain,
+//    more L2 misses), negative again beyond 4 MB (sub-arrays fit the STLB);
+//  * rnd-rmw: oversubscription always favorable beyond 256 KB (writebacks
+//    make the L2 irrelevant).
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/microbench.h"
+
+using namespace eo;
+
+namespace {
+
+struct Cell {
+  double cost_us = 0;  // indirect cost per context switch, microseconds
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 1.0);
+  bench::print_header(
+      "Figure 4", "indirect cost per context switch (us), 2 threads vs 1, one core");
+
+  const std::vector<std::uint64_t> sizes = {
+      64_KiB, 128_KiB, 256_KiB, 512_KiB, 1_MiB, 2_MiB,
+      4_MiB,  8_MiB,   16_MiB,  32_MiB,  64_MiB, 128_MiB};
+  const std::vector<hw::AccessPattern> patterns = {
+      hw::AccessPattern::kSequentialRead, hw::AccessPattern::kSequentialRMW,
+      hw::AccessPattern::kRandomRead, hw::AccessPattern::kRandomRMW};
+
+  std::vector<std::vector<Cell>> grid(patterns.size(),
+                                      std::vector<Cell>(sizes.size()));
+
+  ThreadPool::parallel_for(patterns.size() * sizes.size(), [&](std::size_t job) {
+    const auto pi = job / sizes.size();
+    const auto si = job % sizes.size();
+    const auto pattern = patterns[pi];
+    const auto bytes = sizes[si];
+
+    hw::CacheModel cm{hw::CacheParams{}, hw::TlbParams{}};
+    const SimDuration pass = workloads::array_pass_duration(cm, pattern, bytes);
+    // Enough passes for at least ~100 context switches but bounded total time.
+    int passes = static_cast<int>(std::max<SimDuration>(1, 400_ms / std::max<SimDuration>(pass, 1)));
+    passes = std::max(4, std::min(passes, 4000));
+    passes = std::max(2, static_cast<int>(passes * scale));
+
+    auto run = [&](int threads) {
+      metrics::RunConfig rc;
+      rc.cpus = 1;
+      rc.sockets = 1;
+      rc.ref_footprint = bytes;  // calibration: single-thread full-array rate
+      rc.deadline = 3000_s;
+      return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+        workloads::spawn_array_traversal(k, threads, pattern, bytes, passes);
+      });
+    };
+    const auto r1 = run(1);
+    const auto r2 = run(2);
+    const auto switches = std::max<std::uint64_t>(1, r2.stats.context_switches);
+    grid[pi][si].cost_us = to_us(r2.exec_time - r1.exec_time) /
+                           static_cast<double>(switches);
+  });
+
+  std::vector<std::string> headers = {"array size"};
+  for (const auto p : patterns) headers.emplace_back(hw::to_string(p));
+  metrics::TablePrinter t(headers);
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<std::string> row;
+    const auto b = sizes[si];
+    row.push_back(b >= 1_MiB ? std::to_string(b / (1_MiB)) + "MB"
+                             : std::to_string(b / 1024) + "KB");
+    for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+      row.push_back(metrics::TablePrinter::num(grid[pi][si].cost_us));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 10: the effect of virtual blocking on pthreads primitives.
+//  (a) varying thread counts on a single core: VB speedup over vanilla is
+//      ~1x for mutex (one waiter wakes at a time), ~1.5x for barrier and
+//      ~2.3x for condition variables (group wakeups).
+//  (b) 32 threads on 1..32 cores: the group-synchronization speedups grow
+//      (to ~3x barrier, ~5x cond).
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/microbench.h"
+
+using namespace eo;
+
+namespace {
+
+double speedup(workloads::SyncPrimitive prim, int threads, int cores,
+               int iterations) {
+  double t[2] = {0, 0};
+  for (int opt = 0; opt < 2; ++opt) {
+    metrics::RunConfig rc;
+    rc.cpus = cores;
+    rc.sockets = cores > 8 ? 2 : 1;
+    rc.features =
+        opt ? core::Features::optimized() : core::Features::vanilla();
+    rc.deadline = 600_s;
+    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_sync_micro(k, threads, prim, iterations);
+    });
+    t[opt] = to_ms(r.exec_time);
+  }
+  return t[0] / t[1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.25);
+  const int iters = std::max(200, static_cast<int>(10000 * scale));
+  const std::vector<workloads::SyncPrimitive> prims = {
+      workloads::SyncPrimitive::kMutex, workloads::SyncPrimitive::kCond,
+      workloads::SyncPrimitive::kBarrier};
+
+  bench::print_header("Figure 10(a)", "VB speedup, varying threads on one core");
+  {
+    const std::vector<int> threads = {1, 2, 4, 8, 16, 32};
+    std::vector<std::vector<double>> s(prims.size(),
+                                       std::vector<double>(threads.size()));
+    ThreadPool::parallel_for(prims.size() * threads.size(), [&](std::size_t j) {
+      s[j / threads.size()][j % threads.size()] =
+          speedup(prims[j / threads.size()], threads[j % threads.size()], 1,
+                  iters);
+    });
+    metrics::TablePrinter t(
+        {"threads", "pthread_mutex", "pthread_cond", "pthread_barrier"});
+    for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+      t.add_row({std::to_string(threads[ti]),
+                 metrics::TablePrinter::num(s[0][ti]),
+                 metrics::TablePrinter::num(s[1][ti]),
+                 metrics::TablePrinter::num(s[2][ti])});
+    }
+    t.print();
+  }
+
+  bench::print_header("Figure 10(b)", "VB speedup, 32 threads on varying cores");
+  {
+    const std::vector<int> cores = {1, 2, 4, 8, 16, 32};
+    std::vector<std::vector<double>> s(prims.size(),
+                                       std::vector<double>(cores.size()));
+    ThreadPool::parallel_for(prims.size() * cores.size(), [&](std::size_t j) {
+      s[j / cores.size()][j % cores.size()] =
+          speedup(prims[j / cores.size()], 32, cores[j % cores.size()], iters);
+    });
+    metrics::TablePrinter t(
+        {"cores", "pthread_mutex", "pthread_cond", "pthread_barrier"});
+    for (std::size_t ci = 0; ci < cores.size(); ++ci) {
+      t.add_row({std::to_string(cores[ci]),
+                 metrics::TablePrinter::num(s[0][ci]),
+                 metrics::TablePrinter::num(s[1][ci]),
+                 metrics::TablePrinter::num(s[2][ci])});
+    }
+    t.print();
+  }
+  return 0;
+}

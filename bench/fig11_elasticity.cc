@@ -1,0 +1,102 @@
+// Figure 11: exploiting CPU elasticity. Five benchmarks with distinct
+// characteristics start on 8 cores; the core count is changed at runtime to
+// 2..32. Configurations: #core-matched threads (vanilla), 8T (vanilla),
+// 32T (vanilla), 32T pinned, 32T optimized.
+// Expected: with VB, 32 threads is never worse than 8 threads and scales to
+// 32 cores; pinning cannot adapt (paper: programs crashed when the core
+// count decreased — reported here as "crash"), and leaves added cores unused.
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "runtime/sim_thread.h"
+#include "workloads/suite.h"
+
+using namespace eo;
+
+namespace {
+
+struct Result {
+  double ms = 0;
+  bool crashed = false;
+};
+
+Result run_one(const workloads::BenchmarkSpec& spec, int threads, int cores,
+               bool pinned, bool optimized, double scale) {
+  metrics::RunConfig rc;
+  rc.cpus = 32;  // machine capacity; the container is resized below
+  rc.sockets = 2;
+  rc.features = optimized ? core::Features::optimized()
+                          : core::Features::vanilla();
+  rc.ref_footprint = spec.ref_footprint();
+  auto kc = metrics::make_kernel_config(rc);
+  kern::Kernel k(kc);
+  k.set_online_cores(8);  // startup allocation
+  workloads::spawn_benchmark(k, spec, threads, 7, scale);
+  if (pinned) {
+    // Pin threads round-robin over the startup cores.
+    int i = 0;
+    for (const auto& t : k.tasks()) {
+      k.pin_task(t.get(), i++ % 8);
+    }
+  }
+  // The provider resizes the container shortly after startup.
+  k.run_until(5_ms);
+  if (cores != 8) k.set_online_cores(cores);
+  Result res;
+  const bool done = k.run_to_exit(600_s);
+  res.ms = to_ms(done ? k.last_exit_time() : k.now());
+  // Pinning to a core that is taken away kills the run in practice.
+  res.crashed = pinned && k.pinned_violation();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.15);
+  bench::print_header("Figure 11", "runtime core-count adaptation (exec time, ms)");
+
+  const std::vector<std::string> names = {"ep", "facesim", "streamcluster",
+                                          "ocean", "cg"};
+  const std::vector<int> cores = {2, 4, 8, 16, 32};
+  struct Cfg {
+    const char* label;
+    int threads;  // 0 = match core count
+    bool pinned;
+    bool optimized;
+  };
+  const std::vector<Cfg> cfgs = {
+      {"#core-T(vanilla)", 0, false, false},
+      {"8T(vanilla)", 8, false, false},
+      {"32T(vanilla)", 32, false, false},
+      {"32T(pinned)", 32, true, false},
+      {"32T(optimized)", 32, false, true},
+  };
+
+  for (const auto& name : names) {
+    const auto& spec = workloads::find_benchmark(name);
+    std::vector<std::vector<Result>> grid(
+        cfgs.size(), std::vector<Result>(cores.size()));
+    ThreadPool::parallel_for(cfgs.size() * cores.size(), [&](std::size_t job) {
+      const auto ci = job / cores.size();
+      const auto ki = job % cores.size();
+      const int threads = cfgs[ci].threads == 0 ? cores[ki] : cfgs[ci].threads;
+      grid[ci][ki] = run_one(spec, threads, cores[ki], cfgs[ci].pinned,
+                             cfgs[ci].optimized, scale);
+    });
+    std::printf("\n--- %s ---\n", name.c_str());
+    std::vector<std::string> headers = {"config"};
+    for (int c : cores) headers.push_back(std::to_string(c) + " cores");
+    metrics::TablePrinter t(headers);
+    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+      std::vector<std::string> row = {cfgs[ci].label};
+      for (std::size_t ki = 0; ki < cores.size(); ++ki) {
+        row.push_back(grid[ci][ki].crashed
+                          ? "crash"
+                          : metrics::TablePrinter::num(grid[ci][ki].ms, 1));
+      }
+      t.add_row(row);
+    }
+    t.print();
+  }
+  return 0;
+}

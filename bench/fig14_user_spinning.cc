@@ -1,0 +1,76 @@
+// Figure 14: BWD on user-customized spinning (NPB lu and SPLASH-2 volrend),
+// with 8/16/32 threads on 8 cores, in containers and VMs. Expected: vanilla
+// collapses as the oversubscription ratio grows; BWD contains the slowdown
+// (worsening somewhat with the ratio — its detection interval is fixed);
+// PLE is inapplicable in containers (∅) and ineffective in VMs because these
+// spin loops contain no PAUSE/NOP.
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/suite.h"
+
+using namespace eo;
+
+namespace {
+
+double run_one(const workloads::BenchmarkSpec& spec, int threads,
+               core::Features f, double scale) {
+  metrics::RunConfig rc;
+  rc.cpus = 8;
+  rc.sockets = 2;
+  rc.features = f;
+  rc.ref_footprint = spec.ref_footprint();
+  rc.deadline = 2000_s;
+  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+    workloads::spawn_benchmark(k, spec, threads, 7, scale);
+  });
+  return to_ms(r.exec_time);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.15);
+  bench::print_header("Figure 14", "user-customized spinning (exec ms)");
+
+  const std::vector<int> threads = {8, 16, 32};
+  for (const char* name : {"lu", "volrend"}) {
+    const auto& spec = workloads::find_benchmark(name);
+    struct Cfg {
+      const char* label;
+      bool vm;
+      core::Features f;
+    };
+    const std::vector<Cfg> cfgs = {
+        {"container-vanilla", false, core::Features::vanilla()},
+        {"container-PLE", false, core::Features::vanilla()},  // ∅: N/A
+        {"container-optimized", false, core::Features::optimized()},
+        {"vm-vanilla", true, core::Features::vm_vanilla()},
+        {"vm-PLE", true, core::Features::vm_ple()},
+        {"vm-optimized", true, core::Features::vm_optimized()},
+    };
+    std::vector<std::vector<double>> t(cfgs.size(),
+                                       std::vector<double>(threads.size()));
+    ThreadPool::parallel_for(cfgs.size() * threads.size(), [&](std::size_t j) {
+      const auto ci = j / threads.size();
+      const auto ti = j % threads.size();
+      if (!cfgs[ci].vm && std::string(cfgs[ci].label) == "container-PLE") {
+        t[ci][ti] = -1;  // PLE is not applicable to containers
+        return;
+      }
+      t[ci][ti] = run_one(spec, threads[ti], cfgs[ci].f, scale);
+    });
+    std::printf("\n--- %s ---\n", name);
+    metrics::TablePrinter table({"config", "8t", "16t", "32t"});
+    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+      std::vector<std::string> row = {cfgs[ci].label};
+      for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+        row.push_back(t[ci][ti] < 0
+                          ? "n/a"
+                          : metrics::TablePrinter::num(t[ci][ti], 1));
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Host-performance microbenchmarks of the simulator machinery itself
+// (google-benchmark): event-engine throughput, red-black-tree churn, and
+// end-to-end simulated context-switch rate. These guard against simulator
+// regressions that would make the figure benches impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "kern/kernel.h"
+#include "runtime/sim_thread.h"
+#include "sched/entity.h"
+#include "sched/rbtree.h"
+#include "sim/engine.h"
+
+using namespace eo;
+
+static void BM_EngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      e.schedule_at(i, [&sink] { ++sink; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+static void BM_RbTreeInsertErase(benchmark::State& state) {
+  struct Item {
+    sched::RbNode node;
+    long key;
+  };
+  struct Less {
+    bool operator()(const Item& a, const Item& b) const { return a.key < b.key; }
+  };
+  std::vector<Item> items(256);
+  Rng rng(1);
+  for (auto& i : items) i.key = static_cast<long>(rng.next_below(10000));
+  for (auto _ : state) {
+    sched::RbTree<Item, &Item::node, Less> tree;
+    for (auto& i : items) tree.insert(&i);
+    while (tree.leftmost() != nullptr) tree.erase(tree.leftmost());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RbTreeInsertErase);
+
+static void BM_KernelContextSwitches(benchmark::State& state) {
+  for (auto _ : state) {
+    kern::KernelConfig c;
+    c.topo = hw::Topology::make_cores(1, 1);
+    kern::Kernel k(c);
+    for (int i = 0; i < 4; ++i) {
+      runtime::spawn(k, "t", [](runtime::Env env) -> runtime::SimThread {
+        for (int r = 0; r < 50; ++r) {
+          co_await env.compute(10_us);
+          co_await env.yield();
+        }
+        co_return;
+      });
+    }
+    k.run_to_exit(10_s);
+    benchmark::DoNotOptimize(k.stats().context_switches);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_KernelContextSwitches);
+
+static void BM_FutexRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    kern::KernelConfig c;
+    c.topo = hw::Topology::make_cores(2, 1);
+    kern::Kernel k(c);
+    kern::SimWord* w = k.alloc_word(0);
+    runtime::spawn(k, "waiter", [w](runtime::Env env) -> runtime::SimThread {
+      for (int r = 0; r < 100; ++r) {
+        co_await env.futex_wait(w, 0);
+      }
+      co_return;
+    });
+    runtime::spawn(k, "waker", [w](runtime::Env env) -> runtime::SimThread {
+      for (int r = 0; r < 100; ++r) {
+        co_await env.compute(5_us);
+        // Publish before waking so a not-yet-parked waiter sees EWOULDBLOCK
+        // instead of sleeping through a lost wake.
+        co_await env.store(w, 1);
+        co_await env.futex_wake(w, 1);
+      }
+      co_return;
+    });
+    k.run_to_exit(10_s);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FutexRoundTrip);
+
+BENCHMARK_MAIN();

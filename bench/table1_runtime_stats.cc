@@ -1,0 +1,65 @@
+// Table 1: runtime statistics under thread oversubscription — CPU
+// utilization (of 800%: 8 cores) and in-node / cross-node migration counts,
+// for the 13 blocking benchmarks under 8T vanilla, 32T vanilla, and 32T
+// optimized. Expected: vanilla 32T loses utilization and racks up orders of
+// magnitude more migrations; VB restores utilization and nearly eliminates
+// migrations (sometimes below the 8T baseline, since parked threads are
+// never balanced).
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/suite.h"
+
+using namespace eo;
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.2);
+  bench::print_header("Table 1", "CPU utilization and migrations");
+
+  const auto names = workloads::fig9_benchmarks();
+  struct Cfg {
+    int threads;
+    bool optimized;
+  };
+  const std::vector<Cfg> cfgs = {{8, false}, {32, false}, {32, true}};
+  struct Out {
+    double util = 0;
+    std::uint64_t in_node = 0, cross = 0;
+  };
+  std::vector<std::vector<Out>> grid(names.size(),
+                                     std::vector<Out>(cfgs.size()));
+  ThreadPool::parallel_for(names.size() * cfgs.size(), [&](std::size_t job) {
+    const auto bi = job / cfgs.size();
+    const auto ci = job % cfgs.size();
+    const auto& spec = workloads::find_benchmark(names[bi]);
+    metrics::RunConfig rc;
+    rc.cpus = 8;
+    rc.sockets = 2;
+    rc.features = cfgs[ci].optimized ? core::Features::optimized()
+                                     : core::Features::vanilla();
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 600_s;
+    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, cfgs[ci].threads, 7, scale);
+    });
+    grid[bi][ci] = Out{r.utilization_percent, r.stats.migrations_in_node,
+                       r.stats.migrations_cross_node};
+  });
+
+  metrics::TablePrinter t({"App", "util 8T", "util 32T", "util Opt",
+                           "in-migr 8T", "in-migr 32T", "in-migr Opt",
+                           "x-migr 8T", "x-migr 32T", "x-migr Opt"});
+  for (std::size_t bi = 0; bi < names.size(); ++bi) {
+    t.add_row({names[bi],
+               metrics::TablePrinter::num(grid[bi][0].util, 0),
+               metrics::TablePrinter::num(grid[bi][1].util, 0),
+               metrics::TablePrinter::num(grid[bi][2].util, 0),
+               std::to_string(grid[bi][0].in_node),
+               std::to_string(grid[bi][1].in_node),
+               std::to_string(grid[bi][2].in_node),
+               std::to_string(grid[bi][0].cross),
+               std::to_string(grid[bi][1].cross),
+               std::to_string(grid[bi][2].cross)});
+  }
+  t.print();
+  return 0;
+}

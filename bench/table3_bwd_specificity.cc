@@ -1,0 +1,66 @@
+// Table 3: BWD false-positive rate (specificity). Eight blocking NPB
+// benchmark models with no user/kernel spinning run with BWD enabled; any
+// detection is a false positive (the benchmarks' rare tight register loops
+// are the only trigger). Also reports the FP-induced overhead (exec time
+// with BWD vs without) — expected under ~1% — and the timer overhead.
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "workloads/suite.h"
+
+using namespace eo;
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.3);
+  bench::print_header("Table 3", "BWD specificity on blocking NPB benchmarks");
+
+  const std::vector<std::string> names = {"is", "ep", "cg", "mg",
+                                          "ft", "sp", "bt", "ua"};
+  struct Out {
+    std::uint64_t tries = 0, fps = 0;
+    double t_bwd = 0, t_plain = 0;
+  };
+  std::vector<Out> out(names.size());
+  ThreadPool::parallel_for(names.size() * 2, [&](std::size_t job) {
+    const auto bi = job / 2;
+    const bool with_bwd = job % 2 == 0;
+    const auto& spec = workloads::find_benchmark(names[bi]);
+    metrics::RunConfig rc;
+    rc.cpus = 8;
+    rc.sockets = 2;
+    core::Features f;  // vanilla blocking, no VB — isolate BWD's effect
+    f.bwd = with_bwd;
+    rc.features = f;
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 600_s;
+    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, 32, 7, scale);
+    });
+    if (with_bwd) {
+      out[bi].tries = r.bwd.windows;
+      out[bi].fps = r.bwd.fp;
+      out[bi].t_bwd = to_ms(r.exec_time);
+    } else {
+      out[bi].t_plain = to_ms(r.exec_time);
+    }
+  });
+
+  metrics::TablePrinter t({"App", "# of Tries", "# of FPs", "Specificity(%)",
+                           "FP+timer overhead(%)"});
+  for (std::size_t bi = 0; bi < names.size(); ++bi) {
+    const auto negatives = out[bi].tries;  // no true spinning in these apps
+    const double spec_pct =
+        negatives ? 100.0 * static_cast<double>(negatives - out[bi].fps) /
+                        static_cast<double>(negatives)
+                  : 0.0;
+    const double overhead =
+        out[bi].t_plain > 0
+            ? (out[bi].t_bwd - out[bi].t_plain) / out[bi].t_plain * 100.0
+            : 0.0;
+    t.add_row({names[bi], std::to_string(out[bi].tries),
+               std::to_string(out[bi].fps),
+               metrics::TablePrinter::num(spec_pct),
+               metrics::TablePrinter::num(overhead)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Custom lock: using the public lock library and writing your own
+// synchronization against the simulated-atomics API, then watching BWD
+// neutralize the spin waste under oversubscription.
+//
+//   $ ./examples/custom_lock
+#include <cstdio>
+#include <memory>
+
+#include "kern/kernel.h"
+#include "locks/spinlocks.h"
+#include "runtime/sim_thread.h"
+#include "runtime/spin.h"
+
+using namespace eo;
+using runtime::Env;
+using runtime::SimCall;
+using runtime::SimThread;
+
+namespace {
+
+// A hand-rolled test-and-test-and-set lock written directly against the
+// simulated atomic operations — the "user-customized spinning" the paper's
+// Figure 6 shows (a plain busy loop, no PAUSE, invisible to PLE).
+class MyLock {
+ public:
+  explicit MyLock(kern::Kernel& k)
+      : word_(k.alloc_word(0)), site_(runtime::next_spin_site()) {}
+
+  SimCall<void> lock(Env env) {
+    for (;;) {
+      const std::uint64_t won = co_await env.cas(word_, 0, 1);
+      if (won) co_return;
+      co_await env.spin_until_eq(word_, 0, site_);  // plain busy loop
+    }
+  }
+  SimCall<void> unlock(Env env) {
+    co_await env.store(word_, 0);
+    co_return;
+  }
+
+ private:
+  kern::SimWord* word_;
+  hw::BranchSite site_;
+};
+
+SimDuration run(bool bwd) {
+  kern::KernelConfig cfg;
+  cfg.topo = hw::Topology::make_cores(2, 1);
+  cfg.features.bwd = bwd;
+  kern::Kernel kernel(cfg);
+  auto lock = std::make_shared<MyLock>(kernel);
+  for (int i = 0; i < 8; ++i) {
+    runtime::spawn(kernel, "t" + std::to_string(i),
+                   [lock](Env env) -> SimThread {
+                     for (int r = 0; r < 100; ++r) {
+                       co_await lock->lock(env);
+                       co_await env.compute(5_us);
+                       co_await lock->unlock(env);
+                       co_await env.compute(20_us);
+                     }
+                     co_return;
+                   });
+  }
+  kernel.run_to_exit(60_s);
+  std::printf("  BWD %-3s: %7.2f ms  (spin burned: %7.2f ms, detections: %llu)\n",
+              bwd ? "on" : "off", to_ms(kernel.last_exit_time()),
+              to_ms(kernel.total_spin_busy()),
+              static_cast<unsigned long long>(kernel.stats().bwd_descheduled));
+  return kernel.last_exit_time();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("custom_lock: 8 threads, hand-rolled TTAS lock, 2 cores\n");
+  const auto vanilla = run(false);
+  const auto bwd = run(true);
+  std::printf("BWD speedup on the custom spin: %.2fx\n",
+              static_cast<double>(vanilla) / static_cast<double>(bwd));
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eo {
+
+Histogram::Histogram() : buckets_(kOctaves * kSubBuckets, 0) {}
+
+int Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<int>(v);
+  // Octave = position of the highest set bit above the sub-bucket range;
+  // within an octave the top kSubBucketBits bits below the leading bit select
+  // the linear sub-bucket.
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBucketBits + 1;
+  const auto sub =
+      static_cast<int>((v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  const int idx = octave * kSubBuckets + sub;
+  return std::min<int>(idx, kOctaves * kSubBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_upper_edge(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (octave == 0) return sub;
+  const int shift = octave - 1;
+  const auto base = static_cast<std::uint64_t>(kSubBuckets) << shift;
+  const auto width = static_cast<std::uint64_t>(1) << shift;
+  return static_cast<std::int64_t>(base + width * (sub + 1) - 1);
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  if (total_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += count;
+  total_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::int64_t Histogram::min() const { return min_; }
+std::int64_t Histogram::max() const { return max_; }
+
+double Histogram::mean() const {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      const auto edge = bucket_upper_edge(static_cast<int>(i));
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+void Summary::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const {
+  const double v = variance();
+  return v > 0 ? std::sqrt(v) : 0.0;
+}
+
+}  // namespace eo

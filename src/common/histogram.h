@@ -1,0 +1,73 @@
+// Histograms and summary statistics for experiment metrics.
+//
+// `Histogram` is a log-bucketed latency histogram (HdrHistogram-style, base-2
+// buckets with linear sub-buckets) giving ~1.6% relative error on quantiles
+// at any scale from nanoseconds to seconds, in O(1) memory. `Summary`
+// accumulates mean/min/max/stddev via Welford's algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eo {
+
+/// Log-bucketed histogram over non-negative 64-bit values.
+class Histogram {
+ public:
+  Histogram();
+
+  void add(std::int64_t value, std::uint64_t count = 1);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t total_count() const { return total_; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+
+  /// Quantile in [0, 1]; returns the upper edge of the bucket containing the
+  /// q-th sample. Returns 0 for an empty histogram.
+  std::int64_t quantile(double q) const;
+
+  std::int64_t p50() const { return quantile(0.50); }
+  std::int64_t p95() const { return quantile(0.95); }
+  std::int64_t p99() const { return quantile(0.99); }
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 64 - kSubBucketBits;
+
+  static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_upper_edge(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class Summary {
+ public:
+  void add(double v);
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace eo

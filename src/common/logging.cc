@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace eo {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes interleaved log lines when benches run simulations on multiple
+// host threads.
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace internal {
+
+void log_message(LogLevel level, const char* file, int line,
+                 const std::string& msg) {
+  std::lock_guard<std::mutex> lk(log_mutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), file, line,
+               msg.c_str());
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  {
+    std::lock_guard<std::mutex> lk(log_mutex());
+    std::fprintf(stderr, "[CHECK FAILED %s:%d] %s %s\n", file, line, expr,
+                 msg.c_str());
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace eo

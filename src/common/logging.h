@@ -1,0 +1,84 @@
+// Minimal leveled logging and check macros.
+//
+// The simulator is deterministic and single-threaded per kernel instance, so
+// logging is primarily a debugging aid; it is compiled in at all levels but
+// filtered at runtime. `EO_CHECK` is used for internal invariants — a failed
+// check is a bug in the simulator, not a user error — and aborts with a
+// message, because continuing from a corrupted scheduler state would produce
+// silently wrong experiment results.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global log filter; messages below `level` are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+
+void log_message(LogLevel level, const char* file, int line,
+                 const std::string& msg);
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+
+// Stream collector so log sites can use `<<` chains.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { log_message(level_, file_, line_, out_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream out_;
+};
+
+class CheckLine {
+ public:
+  CheckLine(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckLine() { check_failed(file_, line_, expr_, out_.str()); }
+  template <typename T>
+  CheckLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace eo
+
+#define EO_LOG(level)                                                     \
+  if (::eo::LogLevel::level < ::eo::log_level()) {                        \
+  } else                                                                  \
+    ::eo::internal::LogLine(::eo::LogLevel::level, __FILE__, __LINE__)
+
+#define EO_CHECK(cond)                                             \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::eo::internal::CheckLine(__FILE__, __LINE__, #cond)
+
+#define EO_CHECK_EQ(a, b) EO_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EO_CHECK_LE(a, b) EO_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EO_CHECK_LT(a, b) EO_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EO_CHECK_GE(a, b) EO_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EO_CHECK_GT(a, b) EO_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "

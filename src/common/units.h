@@ -1,0 +1,59 @@
+// Simulated-time units.
+//
+// All simulated time in this library is carried as a signed 64-bit count of
+// nanoseconds (`SimTime`). Signed arithmetic keeps interval math (deadline -
+// now) safe, and 64 bits of nanoseconds covers ~292 years of simulated time,
+// far beyond any experiment in this repository.
+//
+// User-defined literals are provided so calibration constants read like the
+// paper: `750_us`, `3_ms`, `1500_ns`.
+#pragma once
+
+#include <cstdint>
+
+namespace eo {
+
+/// Simulated time, in nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+/// Simulated duration, in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline namespace literals {
+
+constexpr SimDuration operator""_ns(unsigned long long v) {
+  return static_cast<SimDuration>(v);
+}
+constexpr SimDuration operator""_us(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000;
+}
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000 * 1000;
+}
+constexpr SimDuration operator""_s(unsigned long long v) {
+  return static_cast<SimDuration>(v) * 1000 * 1000 * 1000;
+}
+
+}  // namespace literals
+
+/// Converts a simulated duration to floating-point microseconds.
+constexpr double to_us(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+/// Converts a simulated duration to floating-point milliseconds.
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a simulated duration to floating-point seconds.
+constexpr double to_sec(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+/// Bytes helpers for working-set sizes.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::uint64_t>(v) * 1024;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return static_cast<std::uint64_t>(v) * 1024 * 1024;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v) {
+  return static_cast<std::uint64_t>(v) * 1024 * 1024 * 1024;
+}
+
+}  // namespace eo

@@ -1,0 +1,2 @@
+// Features/CostModel are header-only; anchor translation unit.
+#include "core/config.h"

@@ -1,0 +1,120 @@
+// Simulation feature flags and calibrated cost model.
+//
+// `Features` selects which of the paper's mechanisms are active and whether
+// the workload runs in a container (native host kernel) or a KVM guest
+// (where PLE exists). `CostModel` carries every per-operation cost the
+// simulated kernel charges; the headline constants are calibrated to the
+// paper's measurements (1.5 µs direct context switch; multi-µs vanilla
+// wakeup path; ~hundreds of ns for VB operations).
+#pragma once
+
+#include "common/units.h"
+
+namespace eo::core {
+
+/// Execution environment of the simulated workload.
+enum class ExecMode {
+  kContainer,  ///< native Linux / container: no hardware spin detection
+  kVm,         ///< KVM guest: PLE available (for PAUSE-based spins only)
+};
+
+struct Features {
+  /// Virtual blocking in futex (Section 3.1).
+  bool vb_futex = false;
+  /// Virtual blocking in epoll (Section 4.2).
+  bool vb_epoll = false;
+  /// Auto-disable VB when a bucket's waiter count is below the core count
+  /// ("all waiting threads are able to obtain a dedicated core").
+  bool vb_auto_disable = true;
+  /// Busy-waiting detection (Section 3.2).
+  bool bwd = false;
+  /// BWD monitoring interval (paper: 100 µs, "the minimum interval that does
+  /// not impose noticeable overhead").
+  SimDuration bwd_interval = 100_us;
+  /// Which BWD heuristics are required (for the ablation bench). All three
+  /// are on by default: uniform LBR + no L1D misses + no TLB misses.
+  bool bwd_use_lbr = true;
+  bool bwd_use_l1 = true;
+  bool bwd_use_tlb = true;
+  /// Pause-loop exiting (only meaningful in kVm mode).
+  bool ple = false;
+  ExecMode mode = ExecMode::kContainer;
+
+  /// Convenience presets matching the paper's configurations.
+  static Features vanilla() { return Features{}; }
+  static Features optimized() {
+    Features f;
+    f.vb_futex = true;
+    f.vb_epoll = true;
+    f.bwd = true;
+    return f;
+  }
+  static Features vm_vanilla() {
+    Features f;
+    f.mode = ExecMode::kVm;
+    return f;
+  }
+  static Features vm_ple() {
+    Features f;
+    f.mode = ExecMode::kVm;
+    f.ple = true;
+    return f;
+  }
+  static Features vm_optimized() {
+    Features f = optimized();
+    f.mode = ExecMode::kVm;
+    return f;
+  }
+};
+
+/// Per-operation costs charged by the simulated kernel, in nanoseconds.
+struct CostModel {
+  /// Direct cost of a context switch (paper Section 2.3: ~1.5 µs, dominated
+  /// by user/kernel mode transitions and runqueue operations).
+  SimDuration context_switch = 1500;
+
+  /// Simulated atomic instruction (CAS / fetch-add / exchange / load / store).
+  SimDuration atomic_op = 15;
+  /// One iteration's predicate check when entering/leaving a spin loop.
+  SimDuration spin_check = 10;
+  /// Coherence delay before a running spinner observes a remote store.
+  SimDuration spin_observe = 100;
+
+  /// User->kernel transition for a blocking syscall.
+  SimDuration syscall_entry = 300;
+  /// futex_wait path: hash, validate, queue, deactivate, pick next.
+  SimDuration futex_wait_setup = 700;
+  /// Hold time of a futex hash-bucket lock per operation.
+  SimDuration bucket_lock_hold = 200;
+  /// Moving one waiter from the bucket queue to wake_q (under bucket lock).
+  SimDuration wake_q_move = 150;
+  /// try_to_wake_up base cost per waiter: state transition + activation +
+  /// preemption check, executed serially in the waker's context.
+  SimDuration ttwu_base = 2500;
+  /// Idlest-core scan cost per online core during wakeup placement.
+  SimDuration ttwu_scan_per_core = 100;
+  /// Hold time of a per-core runqueue lock.
+  SimDuration rq_lock_hold = 500;
+
+  /// VB operations (no sleep queues, no core selection, no rq-lock storms).
+  SimDuration vb_park = 150;
+  SimDuration vb_unpark = 150;
+  /// Quantum a VB-parked thread runs to check its flag when every thread on
+  /// the core is blocked.
+  SimDuration vb_check_quantum = 1000;
+
+  /// Latency for an idle core to notice a newly enqueued task (IPI + wakeup
+  /// from idle).
+  SimDuration idle_kick = 1500;
+  /// Cost of the scheduler pick path itself.
+  SimDuration sched_pick = 200;
+
+  /// Per-fire cost of the BWD monitoring timer (interrupt + LBR/PMC read).
+  SimDuration bwd_timer_fire = 300;
+
+  /// Fixed cost applied to a migrated task on its next run, on top of the
+  /// cache-model refill penalty.
+  SimDuration migration_base = 2000;
+};
+
+}  // namespace eo::core

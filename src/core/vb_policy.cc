@@ -1,0 +1,2 @@
+// VbPolicy is header-only; anchor translation unit.
+#include "core/vb_policy.h"

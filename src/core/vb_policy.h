@@ -1,0 +1,41 @@
+// Virtual-blocking policy (paper Section 3.1).
+//
+// Decides, per blocking operation, whether to use virtual blocking or fall
+// back to the vanilla sleep/wakeup path. The paper disables VB when it
+// cannot help: "If the number of threads waiting on the bucket queue is
+// smaller than the number of cores, i.e., all waiting threads are able to
+// obtain a dedicated core when simultaneously waking up, VB is turned off."
+//
+// The mechanism itself (parking entities at the runqueue tail, restoring on
+// wake) lives in sched::Runqueue and the Kernel; this class isolates the
+// decision so it can be unit-tested and ablated.
+#pragma once
+
+#include "core/config.h"
+
+namespace eo::core {
+
+class VbPolicy {
+ public:
+  explicit VbPolicy(const Features* features) : f_(features) {}
+
+  /// Should a futex_wait that would make the bucket hold `waiters_after`
+  /// waiters (including the caller) block virtually?
+  bool use_vb_futex(int waiters_after, int online_cores) const {
+    if (!f_->vb_futex) return false;
+    if (!f_->vb_auto_disable) return true;
+    return waiters_after >= online_cores;
+  }
+
+  /// Same decision for an epoll_wait.
+  bool use_vb_epoll(int waiters_after, int online_cores) const {
+    if (!f_->vb_epoll) return false;
+    if (!f_->vb_auto_disable) return true;
+    return waiters_after >= online_cores;
+  }
+
+ private:
+  const Features* f_;
+};
+
+}  // namespace eo::core

@@ -1,0 +1,59 @@
+// Epoll subsystem data structures.
+//
+// Models event-based blocking as used by memcached/libevent: an epoll
+// instance accumulates ready events; epoll_wait consumes one or blocks.
+// Waiters block either by vanilla sleep or — with VB enabled for epoll, as
+// the paper implemented ("we implemented VB in epoll by removing the sleep
+// queue and emulating sleeping via schedule skipping") — by VB parking.
+//
+// As with futex, orchestration lives in the Kernel; this module owns the
+// instance table.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "kern/klock.h"
+
+namespace eo::kern {
+struct Task;
+}
+
+namespace eo::epollsim {
+
+struct EpollWaiter {
+  kern::Task* task = nullptr;
+  bool vb = false;
+};
+
+struct EpollInstance {
+  int id = -1;
+  kern::KLock lock;
+  /// Posted-but-unconsumed event payloads (FIFO).
+  std::deque<std::uint64_t> ready;
+  /// Tasks blocked in epoll_wait (FIFO).
+  std::deque<EpollWaiter> waiters;
+  /// Diagnostics.
+  std::uint64_t posted = 0;
+  std::uint64_t consumed = 0;
+};
+
+class EpollTable {
+ public:
+  /// Creates a new instance; returns its fd.
+  int create();
+
+  EpollInstance& get(int epfd);
+  const EpollInstance& get(int epfd) const;
+
+  /// Removes a specific waiter. Returns true if found.
+  bool remove_waiter(EpollInstance& ep, const kern::Task* task);
+
+  std::size_t size() const { return instances_.size(); }
+
+ private:
+  std::vector<EpollInstance> instances_;
+};
+
+}  // namespace eo::epollsim

@@ -1,0 +1,146 @@
+#include "hw/cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eo::hw {
+
+const char* to_string(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kSequentialRead:
+      return "seq-r";
+    case AccessPattern::kSequentialRMW:
+      return "seq-rmw";
+    case AccessPattern::kRandomRead:
+      return "rnd-r";
+    case AccessPattern::kRandomRMW:
+      return "rnd-rmw";
+  }
+  return "?";
+}
+
+bool is_random(AccessPattern p) {
+  return p == AccessPattern::kRandomRead || p == AccessPattern::kRandomRMW;
+}
+
+bool is_rmw(AccessPattern p) {
+  return p == AccessPattern::kSequentialRMW || p == AccessPattern::kRandomRMW;
+}
+
+namespace {
+double capped(double capacity, double demand) {
+  if (demand <= 0.0) return 1.0;
+  return std::min(1.0, capacity / demand);
+}
+}  // namespace
+
+double CacheModel::miss_source_latency(std::uint64_t footprint) const {
+  // Which level feeds a streaming miss, by footprint.
+  const auto fp = static_cast<double>(footprint);
+  if (fp <= static_cast<double>(p_.l2_bytes) * p_.effectiveness) return p_.l2_lat_ns;
+  if (fp <= static_cast<double>(p_.l3_bytes) * p_.effectiveness) return p_.l3_lat_ns;
+  return p_.mem_lat_ns;
+}
+
+double CacheModel::steady_access_ns(AccessPattern pattern,
+                                    std::uint64_t footprint) const {
+  constexpr double kElementBytes = 8.0;
+  if (is_random(pattern)) {
+    const auto fp = static_cast<double>(footprint);
+    const double h1 = capped(static_cast<double>(p_.l1d_bytes) * p_.effectiveness, fp);
+    const double h12 = capped(static_cast<double>(p_.l2_bytes) * p_.effectiveness, fp);
+    const double h123 = capped(static_cast<double>(p_.l3_bytes) * 0.95, fp);
+    double cost;
+    if (is_rmw(pattern)) {
+      // Dirty lines must be written back toward L3/memory, so an L2 hit does
+      // not save the L3 traffic: charge L2-resident accesses at L3 latency
+      // (the paper: "for read-modify-write, the L2 cache is not an important
+      // factor").
+      cost = h1 * p_.l1_lat_ns + (h123 - h1) * p_.l3_lat_ns +
+             (1.0 - h123) * p_.mem_lat_ns + p_.store_extra_ns;
+    } else {
+      cost = h1 * p_.l1_lat_ns + (h12 - h1) * p_.l2_lat_ns +
+             (h123 - h12) * p_.l3_lat_ns + (1.0 - h123) * p_.mem_lat_ns;
+    }
+    return cost + tlb_.random_access_extra_ns(footprint);
+  }
+  // Sequential: one line fetch per line_bytes/8 elements, largely hidden by
+  // the prefetcher; plus a small TLB residual.
+  const double accesses_per_line = p_.line_bytes / kElementBytes;
+  const double miss = miss_source_latency(footprint);
+  double cost = p_.l1_lat_ns + miss * (1.0 - p_.prefetch_hide) / accesses_per_line;
+  if (is_rmw(pattern)) {
+    // Writeback doubles the line traffic and adds store cost.
+    cost += 0.5 * miss * (1.0 - p_.prefetch_hide) / accesses_per_line +
+            0.5 * p_.store_extra_ns;
+  }
+  return cost + tlb_.sequential_access_extra_ns(footprint, 8);
+}
+
+SimDuration CacheModel::switch_penalty(AccessPattern pattern,
+                                       std::uint64_t footprint,
+                                       std::uint64_t others_footprint) const {
+  // If everyone's data fits together in the L2, nothing is lost.
+  const double combined =
+      static_cast<double>(footprint) + static_cast<double>(others_footprint);
+  if (combined <= static_cast<double>(p_.l2_bytes) * p_.effectiveness) return 0;
+
+  const auto line = static_cast<double>(p_.line_bytes);
+  if (!is_random(pattern)) {
+    // Loss of sequentiality: prefetch streams restart cold across the whole
+    // (L3-capped) footprint that will be re-scanned this slice.
+    const double lines =
+        std::min<double>(static_cast<double>(footprint),
+                         static_cast<double>(p_.l3_bytes)) /
+        line;
+    double ns = lines * p_.prefetch_restart_ns_per_line;
+    if (is_rmw(pattern)) ns *= 0.75;  // writeback path overlaps some restart cost
+    return static_cast<SimDuration>(ns);
+  }
+  if (is_rmw(pattern)) {
+    // Random RMW: cold-start misses would have written back / missed anyway;
+    // the warm-L2 advantage is negligible (paper: L2 not a factor for RMW).
+    return 0;
+  }
+  // Random read: the warm L2 content (up to min(fp, L2)) was evicted; each
+  // lost line costs an L3 round-trip when next touched, weighted by the
+  // probability it would have been an L2 hit in steady state.
+  const double warm_bytes = std::min<double>(static_cast<double>(footprint),
+                                             static_cast<double>(p_.l2_bytes) *
+                                                 p_.effectiveness);
+  const double reuse_prob =
+      capped(static_cast<double>(p_.l2_bytes) * p_.effectiveness,
+             static_cast<double>(footprint));
+  const double ns =
+      (warm_bytes / line) * (p_.l3_lat_ns - p_.l2_lat_ns) * reuse_prob;
+  return static_cast<SimDuration>(ns);
+}
+
+SimDuration CacheModel::migration_penalty(std::uint64_t working_set,
+                                          bool cross_socket) const {
+  const auto line = static_cast<double>(p_.line_bytes);
+  // Private caches (L1+L2) must refill from L3.
+  const double priv_bytes = std::min<double>(
+      static_cast<double>(working_set), static_cast<double>(p_.l2_bytes));
+  double ns = (priv_bytes / line) * (p_.l3_lat_ns - p_.l2_lat_ns);
+  if (cross_socket) {
+    // The L3-resident share must additionally cross the interconnect.
+    const double l3_bytes = std::min<double>(
+        static_cast<double>(working_set), static_cast<double>(p_.l3_bytes));
+    // Only a fraction is re-touched before the next migration/balance.
+    ns += (l3_bytes / line) * (p_.mem_lat_ns - p_.l3_lat_ns) * 0.05;
+  }
+  return static_cast<SimDuration>(ns);
+}
+
+double CacheModel::compute_rate_factor(const MemProfile& prof,
+                                       std::uint64_t footprint,
+                                       std::uint64_t ref_footprint) const {
+  if (prof.mem_intensity <= 0.0 || prof.working_set == 0) return 1.0;
+  const double cur = steady_access_ns(prof.pattern, footprint);
+  const double ref = steady_access_ns(prof.pattern, ref_footprint);
+  if (ref <= 0.0) return 1.0;
+  return (1.0 - prof.mem_intensity) + prof.mem_intensity * (cur / ref);
+}
+
+}  // namespace eo::hw

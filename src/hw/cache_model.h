@@ -1,0 +1,103 @@
+// Analytic cache-hierarchy model.
+//
+// Reproduces the capacity arguments of the paper's Section 2.3: the indirect
+// cost of a context switch is the sum of (a) lost cache warmth / prefetcher
+// disruption when a resuming thread finds its lines evicted, and (b) the
+// *steady-state* rate difference from each thread touching a smaller
+// per-thread footprint (constructive for TLB-bound random access,
+// destructive for L2-resident sequential access).
+//
+// Geometry matches the paper's Xeon E5-2695 testbed: 32 KB L1D, 256 KB L2
+// per core, ~35 MB shared L3 per socket, 64 B lines. Latencies are nominal
+// Broadwell numbers at 2.1 GHz.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "hw/tlb_model.h"
+
+namespace eo::hw {
+
+/// Data-access pattern of a compute phase (the four microbenchmark patterns
+/// of Figure 4).
+enum class AccessPattern {
+  kSequentialRead,
+  kSequentialRMW,
+  kRandomRead,
+  kRandomRMW,
+};
+
+const char* to_string(AccessPattern p);
+bool is_random(AccessPattern p);
+bool is_rmw(AccessPattern p);
+
+/// Memory behaviour of a workload phase, used by the scheduler to charge
+/// context-switch and migration penalties and to scale compute rates.
+struct MemProfile {
+  std::uint64_t working_set = 0;  ///< total bytes the program touches
+  AccessPattern pattern = AccessPattern::kSequentialRead;
+  /// Fraction of execution time that is memory-access bound (0 = pure ALU).
+  double mem_intensity = 0.3;
+};
+
+struct CacheParams {
+  std::uint64_t l1d_bytes = 32ull * 1024;
+  std::uint64_t l2_bytes = 256ull * 1024;
+  std::uint64_t l3_bytes = 35ull * 1024 * 1024;
+  std::uint32_t line_bytes = 64;
+  double l1_lat_ns = 2.0;
+  double l2_lat_ns = 6.0;
+  double l3_lat_ns = 17.0;
+  double mem_lat_ns = 85.0;
+  /// Usable fraction of capacity before conflict misses.
+  double effectiveness = 0.85;
+  /// Fraction of a sequential stream's miss latency hidden by the hardware
+  /// prefetcher when the stream is undisturbed.
+  double prefetch_hide = 0.80;
+  /// Per-line cost of re-establishing prefetch streams after a context
+  /// switch disrupts sequentiality (calibrated so a 128 MB scan pays ~1 ms
+  /// per switch, Figure 4).
+  double prefetch_restart_ns_per_line = 1.8;
+  /// Extra per-access cost of a store (write buffer pressure).
+  double store_extra_ns = 1.0;
+};
+
+/// Analytic model; all methods are pure functions of the parameters.
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheParams& cp = {}, const TlbParams& tp = {})
+      : p_(cp), tlb_(tp) {}
+
+  const CacheParams& params() const { return p_; }
+  const TlbModel& tlb() const { return tlb_; }
+
+  /// Steady-state nanoseconds per 8-byte element access for a thread whose
+  /// resident footprint is `footprint` bytes (includes TLB cost).
+  double steady_access_ns(AccessPattern pattern, std::uint64_t footprint) const;
+
+  /// One-time penalty (ns) charged when a thread resumes a compute phase on
+  /// a core where other threads with combined footprint `others_footprint`
+  /// ran since it was switched out.
+  SimDuration switch_penalty(AccessPattern pattern, std::uint64_t footprint,
+                             std::uint64_t others_footprint) const;
+
+  /// Penalty charged when a thread is migrated to a different core
+  /// (cold private caches; colder still across sockets).
+  SimDuration migration_penalty(std::uint64_t working_set,
+                                bool cross_socket) const;
+
+  /// Multiplier on compute duration for a phase with profile `prof` executed
+  /// with `footprint` resident bytes, relative to the same phase executed
+  /// with `ref_footprint` (the calibration point). >1 means slower.
+  double compute_rate_factor(const MemProfile& prof, std::uint64_t footprint,
+                             std::uint64_t ref_footprint) const;
+
+ private:
+  double miss_source_latency(std::uint64_t footprint) const;
+
+  CacheParams p_;
+  TlbModel tlb_;
+};
+
+}  // namespace eo::hw

@@ -1,0 +1,33 @@
+#include "hw/lbr.h"
+
+namespace eo::hw {
+
+void LbrState::on_execute(SegmentKind kind, BranchSite site, SimDuration dur,
+                          const InstrStreamModel& model) {
+  if (dur <= 0) return;
+  switch (kind) {
+    case SegmentKind::kRegular:
+      // Varied branch stream: any amount of regular execution replaces the
+      // ring contents with non-uniform entries.
+      run_site_ = kVariedSites;
+      run_branches_ = 0;
+      break;
+    case SegmentKind::kTightLoop:
+    case SegmentKind::kSpin: {
+      if (site == run_site_) {
+        run_branches_ += model.spin_iterations(dur);
+      } else {
+        run_site_ = site;
+        run_branches_ = model.spin_iterations(dur);
+      }
+      break;
+    }
+  }
+}
+
+void LbrState::clear() {
+  run_site_ = kVariedSites;
+  run_branches_ = 0;
+}
+
+}  // namespace eo::hw

@@ -1,0 +1,55 @@
+// Last Branch Record model.
+//
+// The real LBR is a 16-entry ring of (from, to) addresses of retired
+// branches, with call/return filtering enabled so nested-function spin
+// implementations still look uniform. BWD's heuristic #1 asks: "are all 16
+// entries identical backward branches?" — equivalently, were the most recent
+// >= 16 retired branches the same backward branch?
+//
+// The model tracks exactly that sufficient statistic: the identity of the
+// branch site producing the current uniform run, and the run's length in
+// branches. Regular code retires a varied branch stream, which resets the
+// run; spin and tight-loop segments extend it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "hw/instr_stream.h"
+
+namespace eo::hw {
+
+/// Branch-site identifier. Each static spin loop (or tight loop) in a
+/// workload has a unique site; kVariedSites marks ordinary code.
+using BranchSite = std::int64_t;
+inline constexpr BranchSite kVariedSites = -1;
+
+/// Per-core LBR state.
+class LbrState {
+ public:
+  static constexpr int kEntries = 16;
+
+  /// Records that the core executed `dur` of code of the given kind.
+  /// `site` identifies the loop for spin/tight segments (use kVariedSites
+  /// for regular code; the kind alone does not imply uniform branches).
+  void on_execute(SegmentKind kind, BranchSite site, SimDuration dur,
+                  const InstrStreamModel& model);
+
+  /// Heuristics #1: all kEntries entries are identical backward branches.
+  bool all_entries_identical_backward() const {
+    return run_site_ != kVariedSites && run_branches_ >= kEntries;
+  }
+
+  /// Site of the current uniform run (kVariedSites if none).
+  BranchSite current_site() const { return run_site_; }
+
+  /// Clears the records (done at the end of each BWD monitoring period:
+  /// "All the LBR and PMC records are cleared for each monitoring period").
+  void clear();
+
+ private:
+  BranchSite run_site_ = kVariedSites;
+  std::uint64_t run_branches_ = 0;
+};
+
+}  // namespace eo::hw

@@ -1,0 +1,2 @@
+// PleModel is header-only; anchor translation unit.
+#include "hw/ple.h"

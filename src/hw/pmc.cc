@@ -1,0 +1,3 @@
+// Pmc is header-only; this translation unit exists so the build file can
+// list every hw component uniformly and to anchor the vtable-free class.
+#include "hw/pmc.h"

@@ -1,0 +1,44 @@
+#include "hw/tlb_model.h"
+
+#include <algorithm>
+
+namespace eo::hw {
+
+namespace {
+double capped_fraction(double capacity, double demand) {
+  if (demand <= 0.0) return 1.0;
+  return std::min(1.0, capacity / demand);
+}
+}  // namespace
+
+double TlbModel::l1_hit_prob(std::uint64_t footprint) const {
+  return capped_fraction(static_cast<double>(l1_reach()) * p_.l1_effectiveness,
+                         static_cast<double>(footprint));
+}
+
+double TlbModel::combined_hit_prob(std::uint64_t footprint) const {
+  return capped_fraction(static_cast<double>(l2_reach()) * p_.l2_effectiveness,
+                         static_cast<double>(footprint));
+}
+
+double TlbModel::random_access_extra_ns(std::uint64_t footprint) const {
+  const double p1 = l1_hit_prob(footprint);
+  const double p12 = combined_hit_prob(footprint);
+  const double p_l2_only = std::max(0.0, p12 - p1);
+  const double p_walk = std::max(0.0, 1.0 - p12);
+  return p_l2_only * p_.l2_hit_extra_ns + p_walk * p_.walk_extra_ns;
+}
+
+double TlbModel::sequential_access_extra_ns(std::uint64_t footprint,
+                                            std::uint32_t element_size) const {
+  // One translation per page; the hardware page walker overlaps with the
+  // stream, so charge ~20% of a walk once per page when the footprint
+  // exceeds combined reach, amortized over the elements in a page.
+  const double accesses_per_page =
+      static_cast<double>(p_.page_size) / static_cast<double>(element_size);
+  const double p12 = combined_hit_prob(footprint);
+  const double walk_per_page = (1.0 - p12) * 0.2 * p_.walk_extra_ns;
+  return walk_per_page / accesses_per_page;
+}
+
+}  // namespace eo::hw

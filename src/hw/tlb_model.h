@@ -1,0 +1,68 @@
+// Two-level data-TLB model.
+//
+// Matches the paper's testbed (Xeon E5-2695, Broadwell): a 64-entry L1 dTLB
+// and a 1536-entry L2 STLB over 4 KB pages, giving translation reach of
+// 256 KB and 6 MB respectively. The model is analytic: for a thread randomly
+// accessing a resident footprint of F bytes, the probability that a given
+// access hits each TLB level follows from how much of the footprint's page
+// set fits in that level (with an effectiveness factor < 1 for set-conflict
+// effects). This capacity arithmetic is exactly the argument the paper uses
+// to explain Figure 4's constructive region.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace eo::hw {
+
+struct TlbParams {
+  std::uint32_t l1_entries = 64;
+  std::uint32_t l2_entries = 1536;
+  std::uint32_t page_size = 4096;
+  /// Fraction of nominal capacity usable before conflict misses appear.
+  double l1_effectiveness = 0.75;
+  double l2_effectiveness = 0.90;
+  /// Extra latency of an access whose translation hits only the L2 STLB.
+  double l2_hit_extra_ns = 3.0;
+  /// Extra latency of a page walk (both levels miss).
+  double walk_extra_ns = 25.0;
+};
+
+/// Analytic TLB cost model.
+class TlbModel {
+ public:
+  explicit TlbModel(const TlbParams& p = {}) : p_(p) {}
+
+  const TlbParams& params() const { return p_; }
+
+  /// Translation reach (bytes addressable) of each level.
+  std::uint64_t l1_reach() const {
+    return static_cast<std::uint64_t>(p_.l1_entries) * p_.page_size;
+  }
+  std::uint64_t l2_reach() const {
+    return static_cast<std::uint64_t>(p_.l2_entries) * p_.page_size;
+  }
+
+  /// Probability that a uniformly random access into a footprint of
+  /// `footprint` bytes finds its translation in the L1 dTLB.
+  double l1_hit_prob(std::uint64_t footprint) const;
+
+  /// Probability the translation is found in L1 or L2.
+  double combined_hit_prob(std::uint64_t footprint) const;
+
+  /// Expected extra nanoseconds per random access spent on translation, for
+  /// a steady-state thread touching `footprint` bytes.
+  double random_access_extra_ns(std::uint64_t footprint) const;
+
+  /// Expected extra nanoseconds per access for a *sequential* scan: one new
+  /// translation per page, amortized over page_size/element accesses; page
+  /// walks largely overlap the streaming so only a small residual is charged.
+  double sequential_access_extra_ns(std::uint64_t footprint,
+                                    std::uint32_t element_size) const;
+
+ private:
+  TlbParams p_;
+};
+
+}  // namespace eo::hw

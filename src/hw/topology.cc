@@ -1,0 +1,57 @@
+#include "hw/topology.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace eo::hw {
+
+Topology Topology::make_cores(int n_cores, int n_sockets) {
+  EO_CHECK_GT(n_cores, 0);
+  EO_CHECK_GT(n_sockets, 0);
+  Topology t;
+  t.n_sockets_ = n_sockets;
+  t.smt_ = false;
+  t.cores_.resize(static_cast<size_t>(n_cores));
+  // Round-robin in blocks: first half of the cores on socket 0, etc., which
+  // mirrors how a container is typically given a contiguous CPU range.
+  const int per_socket = (n_cores + n_sockets - 1) / n_sockets;
+  for (int i = 0; i < n_cores; ++i) {
+    t.cores_[static_cast<size_t>(i)] = CoreInfo{i, i / per_socket, -1};
+  }
+  return t;
+}
+
+Topology Topology::make_smt(int n_threads, int n_sockets) {
+  EO_CHECK_GT(n_threads, 0);
+  EO_CHECK_EQ(n_threads % 2, 0) << "SMT topology needs an even thread count";
+  Topology t;
+  t.n_sockets_ = n_sockets;
+  t.smt_ = true;
+  t.cores_.resize(static_cast<size_t>(n_threads));
+  const int n_phys = n_threads / 2;
+  const int phys_per_socket = (n_phys + n_sockets - 1) / n_sockets;
+  for (int i = 0; i < n_threads; ++i) {
+    const int phys = i / 2;
+    const int sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    t.cores_[static_cast<size_t>(i)] = CoreInfo{i, phys / phys_per_socket, sibling};
+  }
+  return t;
+}
+
+std::vector<int> Topology::cores_in_socket(int socket) const {
+  std::vector<int> out;
+  for (const auto& c : cores_) {
+    if (c.socket == socket) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << n_cores() << (smt_ ? " hyper-threads" : " cores") << " across "
+     << n_sockets_ << " socket(s)";
+  return os.str();
+}
+
+}  // namespace eo::hw

@@ -1,0 +1,60 @@
+// Machine topology model.
+//
+// Models the paper's testbed shape: a dual-socket Xeon (E5-2695-class) with
+// optional SMT. Experiments run in a "container" restricted to a subset of
+// logical CPUs; the `Topology` describes the CPUs the simulated kernel may
+// use and their socket/SMT relationships, which drive NUMA-aware load
+// balancing, in-node vs cross-node migration accounting, and the SMT
+// throughput penalty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eo::hw {
+
+/// One logical CPU visible to the simulated kernel.
+struct CoreInfo {
+  int id = 0;            ///< dense index [0, n_cores)
+  int socket = 0;        ///< NUMA node
+  int smt_sibling = -1;  ///< id of the hyper-thread sibling, or -1
+};
+
+/// Describes the set of logical CPUs available to a simulation.
+class Topology {
+ public:
+  /// `n_cores` full cores split evenly across `n_sockets` (no SMT).
+  static Topology make_cores(int n_cores, int n_sockets = 1);
+
+  /// `n_threads` hyper-threads as sibling pairs on `n_threads / 2` physical
+  /// cores, split across `n_sockets`. `n_threads` must be even.
+  static Topology make_smt(int n_threads, int n_sockets = 1);
+
+  int n_cores() const { return static_cast<int>(cores_.size()); }
+  int n_sockets() const { return n_sockets_; }
+  const CoreInfo& core(int id) const { return cores_[static_cast<size_t>(id)]; }
+  int socket_of(int id) const { return core(id).socket; }
+  bool same_socket(int a, int b) const { return socket_of(a) == socket_of(b); }
+  bool smt_enabled() const { return smt_; }
+
+  /// Sibling hyper-thread of `id`, or -1.
+  int smt_sibling(int id) const { return core(id).smt_sibling; }
+
+  /// Cores in the given socket.
+  std::vector<int> cores_in_socket(int socket) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<CoreInfo> cores_;
+  int n_sockets_ = 1;
+  bool smt_ = false;
+};
+
+/// Throughput factor applied to a hyper-thread whose sibling is also busy.
+/// Two active siblings each run at ~60% of a dedicated core, reflecting
+/// shared execution ports — the reason Figure 9's 8-hyperthread configuration
+/// is slower than 8 full cores.
+inline constexpr double kSmtBusySiblingFactor = 0.6;
+
+}  // namespace eo::hw

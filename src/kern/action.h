@@ -1,0 +1,138 @@
+// Actions: the syscall/instruction interface between simulated threads and
+// the simulated kernel.
+//
+// A simulated thread is a C++20 coroutine. When it needs simulated time to
+// pass — computing, spinning, blocking — it co_awaits an awaitable that
+// stores one of these Action values on its Task and suspends; the kernel
+// interprets the action, advances simulated time, and eventually resumes the
+// coroutine with a result. Cheap operations (atomic instructions) are
+// interpreted synchronously in the kernel's resume loop and only accumulate
+// cost; scheduling-relevant operations (compute, spin, futex, epoll) end the
+// resume loop and are driven by events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/cache_model.h"
+#include "hw/instr_stream.h"
+#include "hw/lbr.h"
+
+namespace eo::kern {
+
+struct Task;
+
+/// A simulated shared-memory word. Workload code never touches the value
+/// directly; all access goes through atomic actions so the kernel can notify
+/// spinners on stores. The simulation is single-threaded, so atomicity is by
+/// construction; the action cost models the instruction latency.
+class SimWord {
+ public:
+  std::uint64_t peek() const { return value_; }
+  /// Stable per-kernel id (allocation order); used as the futex hash key so
+  /// runs are independent of heap addresses.
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Kernel;
+  std::uint64_t id_ = 0;
+  std::uint64_t value_ = 0;
+  /// Tasks currently spinning on this word *while running on a core*.
+  std::vector<Task*> running_spinners_;
+};
+
+enum class AtomicOp {
+  kLoad,
+  kStore,         ///< operand a = value
+  kExchange,      ///< operand a = new value; result = old
+  kCompareSwap,   ///< a = expected, b = desired; result = 1 on success
+  kFetchAdd,      ///< a = addend; result = old value
+};
+
+/// Run `duration` of computation. `duration` is work at the calibration
+/// rate; the kernel converts it to wall time using the task's memory profile
+/// and charges context-switch / migration penalties on resumption.
+struct ComputeAction {
+  SimDuration duration = 0;
+  hw::SegmentKind kind = hw::SegmentKind::kRegular;
+  /// Branch site for kTightLoop segments (feeds the LBR model).
+  hw::BranchSite site = hw::kVariedSites;
+  /// Internal: wall-time remaining; <0 until the kernel initializes it.
+  SimDuration remaining_wall = -1;
+};
+
+struct AtomicAction {
+  SimWord* word = nullptr;
+  AtomicOp op = AtomicOp::kLoad;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Busy-wait until `pred(word value)` is true. The task occupies its core
+/// while spinning (this is the pathology BWD addresses).
+struct SpinUntilAction {
+  SimWord* word = nullptr;
+  std::function<bool(std::uint64_t)> pred;
+  hw::BranchSite site = 0;
+  /// Body contains PAUSE/NOP (visible to PLE in VM mode).
+  bool uses_pause = false;
+  /// Absolute give-up time (< 0 = spin forever). A timed-out spin resumes
+  /// with result 0; success resumes with 1. Used by spin-then-park locks.
+  SimTime deadline = -1;
+  /// Internal: an exit event is already scheduled for this spinner.
+  bool exit_scheduled = false;
+  /// Internal: accumulated PLE exit overhead to charge on spin exit.
+  SimDuration ple_overhead = 0;
+};
+
+/// futex(FUTEX_WAIT): block if *word == expected. Result: 0 = woken,
+/// 1 = EWOULDBLOCK (value changed).
+struct FutexWaitAction {
+  SimWord* word = nullptr;
+  std::uint64_t expected = 0;
+};
+
+/// futex(FUTEX_WAKE): wake up to n waiters. Result: number woken.
+struct FutexWakeAction {
+  SimWord* word = nullptr;
+  int n = 1;
+};
+
+/// epoll_wait: block until an event is available. Result: the event payload.
+struct EpollWaitAction {
+  int epfd = -1;
+};
+
+/// Post an event to an epoll instance (e.g. a request arriving on a
+/// connection). Result: none.
+struct EpollPostAction {
+  int epfd = -1;
+  std::uint64_t data = 0;
+};
+
+/// sched_yield().
+struct YieldAction {};
+
+/// nanosleep(duration) — real timed sleep, off the runqueue.
+struct SleepAction {
+  SimDuration duration = 0;
+};
+
+/// Switch the task's memory profile (entering a new program phase).
+struct SetMemProfileAction {
+  hw::MemProfile profile;
+};
+
+/// Thread termination (issued by the coroutine's final suspend).
+struct ExitAction {};
+
+using Action =
+    std::variant<std::monostate, ComputeAction, AtomicAction, SpinUntilAction,
+                 FutexWaitAction, FutexWakeAction, EpollWaitAction,
+                 EpollPostAction, YieldAction, SleepAction,
+                 SetMemProfileAction, ExitAction>;
+
+}  // namespace eo::kern

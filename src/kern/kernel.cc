@@ -1,0 +1,1211 @@
+#include "kern/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eo::kern {
+
+namespace {
+thread_local Task* g_current_task = nullptr;
+
+Task* task_of(sched::SchedEntity* se) { return static_cast<Task*>(se->task); }
+}  // namespace
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kNew:
+      return "new";
+    case TaskState::kRunnable:
+      return "runnable";
+    case TaskState::kRunning:
+      return "running";
+    case TaskState::kSleeping:
+      return "sleeping";
+    case TaskState::kExited:
+      return "exited";
+  }
+  return "?";
+}
+
+Kernel::Kernel(KernelConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache, cfg_.tlb),
+      instr_(cfg_.instr),
+      ple_([&] {
+        hw::PleParams p = cfg_.ple;
+        p.enabled = cfg_.features.ple && cfg_.features.mode == core::ExecMode::kVm;
+        return p;
+      }()),
+      vb_policy_(&cfg_.features),
+      bwd_(&cfg_.features),
+      balancer_(&cfg_.topo, &cfg_.cfs),
+      rng_(cfg_.seed) {
+  const int n = cfg_.topo.n_cores();
+  cores_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, &cfg_.cfs));
+    cores_.back()->rng = rng_.split();
+  }
+  n_online_ = n;
+  for (int i = 0; i < n; ++i) {
+    Core& c = core(i);
+    // Stagger periodic timers so cores do not balance in lockstep.
+    c.balance_timer.start(&engine_, cfg_.cfs.balance_interval,
+                          i * 200_us, [this, &c] { balance_timer_fire(c); });
+    if (cfg_.features.bwd) {
+      c.bwd_timer.start(&engine_, cfg_.features.bwd_interval, i * 5_us,
+                        [this, &c] { bwd_timer_fire(c); });
+    }
+  }
+}
+
+Kernel::~Kernel() = default;
+
+Task* Kernel::current() { return g_current_task; }
+
+// ---------------------------------------------------------------------------
+// Task lifecycle
+// ---------------------------------------------------------------------------
+
+Task* Kernel::create_task(std::string name) {
+  tasks_.push_back(std::make_unique<Task>(next_tid_++, std::move(name)));
+  return tasks_.back().get();
+}
+
+void Kernel::attach_coroutine(Task* t, std::coroutine_handle<> top) {
+  EO_CHECK(!t->top) << "coroutine already attached";
+  t->top = top;
+  t->resume_point = top;
+}
+
+void Kernel::start_task(Task* t, int cpu) {
+  EO_CHECK(t->state == TaskState::kNew);
+  EO_CHECK(t->top) << "start_task before attach_coroutine";
+  if (cpu < 0) {
+    // Round-robin over online cores.
+    do {
+      cpu = next_start_cpu_;
+      next_start_cpu_ = (next_start_cpu_ + 1) % n_cores();
+    } while (!core(cpu).online);
+  }
+  EO_CHECK(core(cpu).online);
+  t->state = TaskState::kRunnable;
+  t->last_cpu = cpu;
+  ++live_tasks_;
+  Core& c = core(cpu);
+  // Start slightly behind the queue head so running tasks are not preempted
+  // by a thundering herd of spawns.
+  t->se.vruntime = c.rq.min_vruntime();
+  c.rq.enqueue(&t->se, /*wakeup=*/false);
+  if (c.current == nullptr) {
+    kick(c);
+  }
+}
+
+void Kernel::pin_task(Task* t, int cpu) {
+  EO_CHECK(cpu >= 0 && cpu < n_cores());
+  t->pinned = true;
+  t->pin_cpu = cpu;
+  t->se.pinned = true;
+}
+
+SimWord* Kernel::alloc_word(std::uint64_t init) {
+  words_.emplace_back();
+  words_.back().value_ = init;
+  words_.back().id_ = static_cast<std::uint64_t>(words_.size());
+  return &words_.back();
+}
+
+int Kernel::epoll_create() { return epolls_.create(); }
+
+// ---------------------------------------------------------------------------
+// Execution control
+// ---------------------------------------------------------------------------
+
+void Kernel::run_until(SimTime t) { engine_.run_until(t); }
+
+bool Kernel::run_to_exit(SimTime deadline) {
+  // Chunked so we can stop as soon as every task exits (the periodic timers
+  // would otherwise keep the event queue non-empty forever).
+  while (live_tasks_ > 0 && now() < deadline) {
+    const SimTime next = std::min<SimTime>(now() + 5_ms, deadline);
+    engine_.run_until(next);
+  }
+  return live_tasks_ == 0;
+}
+
+void Kernel::set_online_cores(int n) {
+  EO_CHECK(n >= 1 && n <= n_cores());
+  // Bring cores online first so eviction targets exist.
+  for (int i = 0; i < n; ++i) {
+    Core& c = core(i);
+    if (c.online) continue;
+    c.online = true;
+    c.balance_timer.start(&engine_, cfg_.cfs.balance_interval, i * 200_us,
+                          [this, &c] { balance_timer_fire(c); });
+    if (cfg_.features.bwd) {
+      c.bwd_timer.start(&engine_, cfg_.features.bwd_interval, i * 5_us,
+                        [this, &c] { bwd_timer_fire(c); });
+    }
+  }
+  n_online_ = 0;
+  for (int i = 0; i < n_cores(); ++i) {
+    if (i < n) ++n_online_;
+  }
+  for (int i = n; i < n_cores(); ++i) {
+    Core& c = core(i);
+    if (!c.online) continue;
+    if (c.current != nullptr && c.current->in_kernel) {
+      // Mid wake-chain; retry shortly rather than corrupting the chain.
+      const int target = n;
+      engine_.schedule_after(200_us, [this, target] {
+        if (n_online_ <= target) set_online_cores(target);
+      });
+      continue;
+    }
+    c.online = false;
+    c.balance_timer.stop();
+    c.bwd_timer.stop();
+    if (c.run_event != sim::kInvalidEvent) {
+      // Stop whatever is running and requeue it.
+      stop_run(c);
+    }
+    if (c.current != nullptr) {
+      deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+    }
+    if (c.busy_valid) {
+      c.metrics.busy += now() - c.busy_since;
+      c.busy_valid = false;
+    }
+    // Evict every queued entity to online cores, round-robin.
+    auto evicted = c.rq.detach_all();
+    int rr = 0;
+    for (sched::SchedEntity* se : evicted) {
+      Task* t = task_of(se);
+      int dst = -1;
+      for (int k = 0; k < n_online_; ++k) {
+        const int cand = (rr + k) % n_online_;
+        if (core(cand).online) {
+          dst = cand;
+          break;
+        }
+      }
+      rr = (dst + 1) % std::max(1, n_online_);
+      EO_CHECK_GE(dst, 0);
+      Core& d = core(dst);
+      const bool cross = !cfg_.topo.same_socket(c.id, d.id);
+      (cross ? stats_.migrations_cross_node : stats_.migrations_in_node)++;
+      ++t->stats.migrations;
+      t->resume_penalty = std::max(
+          t->resume_penalty,
+          cache_.migration_penalty(t->mem.working_set, cross) +
+              cfg_.costs.migration_base);
+      if (t->pinned && t->pin_cpu == c.id) pinned_violation_ = true;
+      se->vruntime = d.rq.min_vruntime();
+      t->last_cpu = dst;
+      d.rq.enqueue(se, /*wakeup=*/false);
+      kick(d);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+double Kernel::cpu_utilization_percent() const {
+  const SimDuration wall = now() - metrics_reset_time_;
+  if (wall <= 0) return 0.0;
+  double busy = 0;
+  for (const auto& cp : cores_) {
+    busy += static_cast<double>(cp->metrics.busy);
+    if (cp->busy_valid) busy += static_cast<double>(now() - cp->busy_since);
+  }
+  return busy / static_cast<double>(wall) * 100.0;
+}
+
+SimDuration Kernel::total_busy() const {
+  SimDuration b = 0;
+  for (const auto& cp : cores_) {
+    b += cp->metrics.busy;
+    if (cp->busy_valid) b += now() - cp->busy_since;
+  }
+  return b;
+}
+
+SimDuration Kernel::total_spin_busy() const {
+  SimDuration b = 0;
+  for (const auto& cp : cores_) b += cp->metrics.spin_busy;
+  return b;
+}
+
+void Kernel::reset_metrics() {
+  for (auto& cp : cores_) {
+    cp->metrics = CoreMetrics{};
+    if (cp->busy_valid) cp->busy_since = now();
+  }
+  stats_ = sched::SchedStats{};
+  bwd_accuracy_ = core::BwdAccuracy{};
+  metrics_reset_time_ = now();
+}
+
+// ---------------------------------------------------------------------------
+// Segment / busy accounting
+// ---------------------------------------------------------------------------
+
+void Kernel::account_segment(Core& c) {
+  const SimTime t = now();
+  if (c.current == nullptr) {
+    c.seg_start = t;
+    return;
+  }
+  const SimDuration dur = t - c.seg_start;
+  c.seg_start = t;
+  if (dur <= 0) return;
+  const auto sample = instr_.sample(c.seg_kind, dur, c.rng);
+  c.pmc.accumulate(sample);
+  c.lbr.on_execute(c.seg_kind, c.seg_site, dur, instr_);
+  c.window.busy += dur;
+  if (c.seg_kind == hw::SegmentKind::kSpin) {
+    c.window.spin += dur;
+    if (c.window.dominant_site == hw::kVariedSites) {
+      c.window.dominant_site = c.seg_site;
+    } else if (c.window.dominant_site != c.seg_site) {
+      c.window.multiple_spin_sites = true;
+    }
+    c.metrics.spin_busy += dur;
+    c.current->stats.spin_time += dur;
+    if (ple_.enabled() && c.seg_pause) {
+      const auto exits = ple_.exits_for(dur);
+      stats_.ple_exits += exits;
+      if (auto* a = std::get_if<SpinUntilAction>(&c.current->pending)) {
+        a->ple_overhead += ple_.overhead_for(dur);
+      }
+    }
+  }
+}
+
+void Kernel::set_segment(Core& c, hw::SegmentKind kind, hw::BranchSite site,
+                         bool pause) {
+  account_segment(c);
+  c.seg_kind = kind;
+  c.seg_site = site;
+  c.seg_pause = pause;
+}
+
+void Kernel::account_tick(Core& c) {
+  Task* t = c.current;
+  EO_CHECK(t != nullptr);
+  SimDuration ran = now() - t->se.exec_start;
+  if (ran < 0) ran = 0;
+  c.rq.account_curr(ran + t->overhead);
+  t->overhead = 0;
+  t->stats.cpu_time += ran;
+  t->se.exec_start = now();
+}
+
+// ---------------------------------------------------------------------------
+// Core scheduling
+// ---------------------------------------------------------------------------
+
+bool Kernel::smt_sibling_busy(const Core& c) const {
+  if (!cfg_.topo.smt_enabled()) return false;
+  const int sib = cfg_.topo.smt_sibling(c.id);
+  if (sib < 0) return false;
+  const Core& s = *cores_[static_cast<size_t>(sib)];
+  return s.current != nullptr;
+}
+
+double Kernel::execution_speed(const Core& c) const {
+  return smt_sibling_busy(c) ? hw::kSmtBusySiblingFactor : 1.0;
+}
+
+SimDuration Kernel::slice_left(Core& c, Task* t) const {
+  const SimDuration slice = c.rq.slice_for(&t->se);
+  return slice - (now() - t->se.exec_start);
+}
+
+void Kernel::kick(Core& c) {
+  if (!c.online || c.kick_pending || c.current != nullptr || c.in_switch) {
+    return;
+  }
+  c.kick_pending = true;
+  engine_.schedule_after(cfg_.costs.idle_kick, [this, &c] {
+    c.kick_pending = false;
+    if (c.online && c.current == nullptr && !c.in_switch) schedule(c);
+  });
+}
+
+void Kernel::schedule(Core& c) {
+  EO_CHECK(c.current == nullptr);
+  EO_CHECK(!c.in_switch);
+  if (!c.online) return;
+  if (c.preempt_event != sim::kInvalidEvent) {
+    engine_.cancel(c.preempt_event);
+    c.preempt_event = sim::kInvalidEvent;
+  }
+  c.need_resched = false;
+
+  sched::SchedEntity* se = c.rq.pick_next();
+  if (se == nullptr) {
+    // Newly idle: try to pull work before idling.
+    if (try_balance(c, /*newly_idle=*/true)) se = c.rq.pick_next();
+  }
+  if (se == nullptr) {
+    if (c.busy_valid) {
+      c.metrics.busy += now() - c.busy_since;
+      c.busy_valid = false;
+    }
+    account_segment(c);  // resets seg_start
+    return;
+  }
+  Task* t = task_of(se);
+  if (!c.busy_valid) {
+    c.busy_valid = true;
+    c.busy_since = now();
+  }
+
+  SimDuration cost = cfg_.costs.sched_pick;
+  const bool real_switch = (t != c.last_task);
+  if (real_switch) {
+    cost += cfg_.costs.context_switch;
+    ++stats_.context_switches;
+    // Charge the resuming thread's cache-refill penalty based on what ran
+    // in between (approximated by the previous occupant's working set).
+    // Only compute phases repay a cold cache: a thread resuming into a spin
+    // loop or a VB flag-check quantum touches one line and must not
+    // accumulate refill debt. The penalty does not stack across repeated
+    // switch-ins either — the cache is only cold once — so it combines by
+    // max, not sum.
+    if (c.last_task != nullptr && !c.last_task->exited() &&
+        t->mem.working_set > 0 && !t->se.vb_blocked &&
+        !std::holds_alternative<SpinUntilAction>(t->pending)) {
+      const SimDuration pen = cache_.switch_penalty(
+          t->mem.pattern, t->mem.working_set, c.last_task->mem.working_set);
+      t->resume_penalty = std::max(t->resume_penalty, pen);
+    }
+  }
+  c.last_task = t;
+  c.current = t;
+  t->state = TaskState::kRunning;
+  t->last_cpu = c.id;
+  c.in_switch = true;
+  set_segment(c, hw::SegmentKind::kRegular, hw::kVariedSites, false);
+  c.run_event = engine_.schedule_after(cost, [this, &c] {
+    c.run_event = sim::kInvalidEvent;
+    c.in_switch = false;
+    Task* cur = c.current;
+    EO_CHECK(cur != nullptr);
+    cur->se.exec_start = now();
+    begin_current(c);
+  });
+}
+
+void Kernel::begin_current(Core& c) {
+  Task* t = c.current;
+  EO_CHECK(t != nullptr);
+
+  if (c.need_resched && c.rq.nr_schedulable() > 0 && !t->se.vb_blocked) {
+    // A better candidate woke during the switch; go around again.
+    deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+    schedule(c);
+    return;
+  }
+  c.need_resched = false;
+
+  if (t->se.vb_blocked) {
+    setup_vb_check(c, t);
+    return;
+  }
+
+  if (std::holds_alternative<std::monostate>(t->pending)) {
+    resume_step(c, t);
+    return;
+  }
+  if (auto* a = std::get_if<ComputeAction>(&t->pending)) {
+    setup_compute(c, t, *a);
+    return;
+  }
+  if (auto* a = std::get_if<SpinUntilAction>(&t->pending)) {
+    if (a->pred(a->word->value_)) {
+      t->overhead += cfg_.costs.spin_check + a->ple_overhead;
+      finish_action(t, 1);
+      resume_step(c, t);
+    } else {
+      setup_spin(c, t, *a);
+    }
+    return;
+  }
+  EO_CHECK(false) << "task " << t->name << " scheduled with pending action it"
+                  << " cannot resume (index " << t->pending.index() << ")";
+}
+
+void Kernel::resume_step(Core& c, Task* t) {
+  for (;;) {
+    EO_CHECK_EQ(c.current, t);
+    EO_CHECK(std::holds_alternative<std::monostate>(t->pending));
+    g_current_task = t;
+    t->resume_point.resume();
+    g_current_task = nullptr;
+
+    if (auto* a = std::get_if<AtomicAction>(&t->pending)) {
+      perform_atomic(c, t, *a);
+      t->pending = std::monostate{};
+      continue;
+    }
+    if (auto* a = std::get_if<SetMemProfileAction>(&t->pending)) {
+      t->mem = a->profile;
+      t->pending = std::monostate{};
+      continue;
+    }
+    if (auto* a = std::get_if<ComputeAction>(&t->pending)) {
+      // Convert work duration to wall time once, using the task's memory
+      // profile at issue time.
+      if (a->remaining_wall < 0) {
+        double factor = 1.0;
+        if (cfg_.ref_footprint > 0 && t->mem.working_set > 0) {
+          factor = cache_.compute_rate_factor(t->mem, t->mem.working_set,
+                                              cfg_.ref_footprint);
+        }
+        a->remaining_wall = static_cast<SimDuration>(
+            std::ceil(static_cast<double>(a->duration) * factor));
+        if (a->remaining_wall < 1) a->remaining_wall = 1;
+      }
+      setup_compute(c, t, *a);
+      return;
+    }
+    if (auto* a = std::get_if<SpinUntilAction>(&t->pending)) {
+      if (a->pred(a->word->value_)) {
+        t->overhead += cfg_.costs.spin_check;
+        finish_action(t, 1);
+        continue;
+      }
+      setup_spin(c, t, *a);
+      return;
+    }
+    if (auto* a = std::get_if<FutexWaitAction>(&t->pending)) {
+      if (handle_futex_wait(c, t, *a)) continue;
+      return;
+    }
+    if (auto* a = std::get_if<FutexWakeAction>(&t->pending)) {
+      if (handle_futex_wake(c, t, *a)) continue;
+      return;
+    }
+    if (auto* a = std::get_if<EpollWaitAction>(&t->pending)) {
+      if (handle_epoll_wait(c, t, *a)) continue;
+      return;
+    }
+    if (auto* a = std::get_if<EpollPostAction>(&t->pending)) {
+      if (handle_epoll_post(c, t, *a)) continue;
+      return;
+    }
+    if (std::holds_alternative<YieldAction>(t->pending)) {
+      finish_action(t, 0);
+      deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
+      schedule(c);
+      return;
+    }
+    if (auto* a = std::get_if<SleepAction>(&t->pending)) {
+      handle_sleep(c, t, *a);
+      return;
+    }
+    if (std::holds_alternative<ExitAction>(t->pending)) {
+      handle_exit(c, t);
+      return;
+    }
+    EO_CHECK(false) << "unhandled action index " << t->pending.index()
+                    << " task=" << t->name << " state=" << to_string(t->state)
+                    << " now=" << now();
+  }
+}
+
+void Kernel::finish_action(Task* t, std::uint64_t result) {
+  t->action_result = result;
+  t->pending = std::monostate{};
+}
+
+// ---------------------------------------------------------------------------
+// Compute / spin execution
+// ---------------------------------------------------------------------------
+
+void Kernel::setup_compute(Core& c, Task* t, ComputeAction& a) {
+  EO_CHECK_GE(a.remaining_wall, 0);
+  if (t->resume_penalty > 0) {
+    a.remaining_wall += t->resume_penalty;
+    t->resume_penalty = 0;
+  }
+  SimDuration sl = slice_left(c, t);
+  if (sl <= 0) {
+    if (c.rq.nr_schedulable() > 0) {
+      deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+      schedule(c);
+      return;
+    }
+    account_tick(c);  // renew the slice in place
+    sl = c.rq.slice_for(&t->se);
+  }
+  const double speed = execution_speed(c);
+  const auto need = static_cast<SimDuration>(
+      std::ceil(static_cast<double>(a.remaining_wall) / speed));
+  const SimDuration run_for = std::min(need, sl);
+  set_segment(c, a.kind, a.site, false);
+  c.run_start = now();
+  c.run_speed = speed;
+  c.run_event =
+      engine_.schedule_after(run_for, [this, &c] { compute_event(c); });
+}
+
+void Kernel::compute_event(Core& c) {
+  c.run_event = sim::kInvalidEvent;
+  Task* t = c.current;
+  EO_CHECK(t != nullptr);
+  auto* a = std::get_if<ComputeAction>(&t->pending);
+  EO_CHECK(a != nullptr);
+  const SimDuration elapsed = now() - c.run_start;
+  a->remaining_wall -= static_cast<SimDuration>(
+      static_cast<double>(elapsed) * c.run_speed + 0.5);
+  if (a->remaining_wall <= 0) {
+    set_segment(c, hw::SegmentKind::kRegular, hw::kVariedSites, false);
+    finish_action(t, 0);
+    resume_step(c, t);
+    return;
+  }
+  // Slice expired mid-compute.
+  if (c.rq.nr_schedulable() > 0) {
+    deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+    schedule(c);
+  } else {
+    setup_compute(c, t, *a);
+  }
+}
+
+void Kernel::setup_spin(Core& c, Task* t, SpinUntilAction& a) {
+  // Spinning touches a single cached line; any accumulated refill penalty is
+  // meaningless for it and must not leak into later compute.
+  t->resume_penalty = 0;
+  if (a.deadline >= 0 && now() >= a.deadline) {
+    // Spin budget exhausted (possibly while descheduled).
+    t->overhead += cfg_.costs.spin_check;
+    finish_action(t, 0);
+    resume_step(c, t);
+    return;
+  }
+  SimDuration sl = slice_left(c, t);
+  if (sl <= 0) {
+    if (c.rq.nr_schedulable() > 0) {
+      deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+      schedule(c);
+      return;
+    }
+    account_tick(c);
+    sl = c.rq.slice_for(&t->se);
+  }
+  if (a.deadline >= 0) sl = std::min(sl, a.deadline - now());
+  set_segment(c, hw::SegmentKind::kSpin, a.site, a.uses_pause);
+  a.exit_scheduled = false;
+  auto& spinners = a.word->running_spinners_;
+  if (std::find(spinners.begin(), spinners.end(), t) == spinners.end()) {
+    spinners.push_back(t);
+  }
+  c.run_start = now();
+  c.run_speed = 1.0;
+  c.run_event =
+      engine_.schedule_after(sl, [this, &c] { spin_slice_event(c); });
+}
+
+void Kernel::spin_slice_event(Core& c) {
+  c.run_event = sim::kInvalidEvent;
+  Task* t = c.current;
+  EO_CHECK(t != nullptr);
+  auto* a = std::get_if<SpinUntilAction>(&t->pending);
+  EO_CHECK(a != nullptr);
+  if (a->exit_scheduled) return;  // an exit is imminent; let it fire
+  if (a->deadline >= 0 && now() >= a->deadline) {
+    // Timed out: stop spinning and report failure.
+    account_segment(c);
+    set_segment(c, hw::SegmentKind::kRegular, hw::kVariedSites, false);
+    auto& spinners = a->word->running_spinners_;
+    spinners.erase(std::remove(spinners.begin(), spinners.end(), t),
+                   spinners.end());
+    t->overhead += cfg_.costs.spin_check;
+    finish_action(t, 0);
+    resume_step(c, t);
+    return;
+  }
+  if (c.rq.nr_schedulable() > 0) {
+    deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+    schedule(c);
+  } else {
+    // Alone on the queue: keep spinning with a renewed slice.
+    account_tick(c);
+    SimDuration next = c.rq.slice_for(&t->se);
+    if (a->deadline >= 0) next = std::min(next, a->deadline - now());
+    if (next < 1) next = 1;
+    c.run_event = engine_.schedule_after(next,
+                                         [this, &c] { spin_slice_event(c); });
+  }
+}
+
+void Kernel::notify_spinners(SimWord* word) {
+  if (word->running_spinners_.empty()) return;
+  // Copy: exits mutate the list.
+  const auto spinners = word->running_spinners_;
+  for (Task* t : spinners) {
+    auto* a = std::get_if<SpinUntilAction>(&t->pending);
+    if (a == nullptr || a->exit_scheduled) continue;
+    if (a->pred(word->value_)) {
+      a->exit_scheduled = true;
+      SimWord* w = word;
+      engine_.schedule_after(cfg_.costs.spin_observe,
+                             [this, t, w] { spin_exit_event(t, w); });
+    }
+  }
+}
+
+void Kernel::spin_exit_event(Task* t, SimWord* w) {
+  if (t->state != TaskState::kRunning) return;
+  auto* a = std::get_if<SpinUntilAction>(&t->pending);
+  if (a == nullptr || !a->exit_scheduled) return;
+  EO_CHECK_GE(t->se.cpu, 0);
+  Core& c = core(t->se.cpu);
+  if (c.current != t) return;
+  if (c.run_event != sim::kInvalidEvent) {
+    engine_.cancel(c.run_event);
+    c.run_event = sim::kInvalidEvent;
+  }
+  set_segment(c, hw::SegmentKind::kRegular, hw::kVariedSites, false);
+  auto& spinners = w->running_spinners_;
+  spinners.erase(std::remove(spinners.begin(), spinners.end(), t),
+                 spinners.end());
+  t->overhead += cfg_.costs.spin_check + a->ple_overhead;
+  finish_action(t, 1);
+  resume_step(c, t);
+}
+
+void Kernel::stop_run(Core& c) {
+  Task* t = c.current;
+  EO_CHECK(t != nullptr);
+  const bool had_event = c.run_event != sim::kInvalidEvent;
+  if (had_event) {
+    engine_.cancel(c.run_event);
+    c.run_event = sim::kInvalidEvent;
+  }
+  if (auto* a = std::get_if<ComputeAction>(&t->pending)) {
+    if (had_event) {
+      const SimDuration elapsed = now() - c.run_start;
+      a->remaining_wall -= static_cast<SimDuration>(
+          static_cast<double>(elapsed) * c.run_speed + 0.5);
+      if (a->remaining_wall < 1) a->remaining_wall = 1;
+    }
+  } else if (auto* a = std::get_if<SpinUntilAction>(&t->pending)) {
+    auto& spinners = a->word->running_spinners_;
+    spinners.erase(std::remove(spinners.begin(), spinners.end(), t),
+                   spinners.end());
+    a->exit_scheduled = false;
+  }
+}
+
+void Kernel::deschedule_current(Core& c, bool requeue, bool voluntary) {
+  Task* t = c.current;
+  EO_CHECK(t != nullptr);
+  account_segment(c);
+  stop_run(c);
+  account_tick(c);
+  if (voluntary) {
+    ++t->stats.voluntary_switches;
+    ++stats_.voluntary_switches;
+  } else {
+    ++t->stats.involuntary_switches;
+    ++stats_.involuntary_switches;
+  }
+  c.rq.put_prev(&t->se);
+  if (requeue) {
+    t->state = TaskState::kRunnable;
+  } else {
+    c.rq.dequeue(&t->se);
+  }
+  c.current = nullptr;
+  if (c.preempt_event != sim::kInvalidEvent) {
+    engine_.cancel(c.preempt_event);
+    c.preempt_event = sim::kInvalidEvent;
+  }
+  c.need_resched = false;
+}
+
+void Kernel::setup_vb_check(Core& c, Task* t) {
+  (void)t;
+  ++stats_.vb_check_quanta;
+  set_segment(c, hw::SegmentKind::kRegular, hw::kVariedSites, false);
+  const SimDuration q = cfg_.costs.vb_check_quantum;
+  c.run_start = now();
+  c.run_speed = 1.0;
+  c.run_event = engine_.schedule_after(q, [this, &c, q] {
+    c.run_event = sim::kInvalidEvent;
+    Task* cur = c.current;
+    EO_CHECK(cur != nullptr);
+    c.metrics.vb_check += q;
+    if (!cur->se.vb_blocked) {
+      // The flag was cleared mid-quantum: resume for real.
+      account_tick(c);
+      begin_current(c);
+      return;
+    }
+    deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
+    schedule(c);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Preemption
+// ---------------------------------------------------------------------------
+
+void Kernel::maybe_preempt(Core& c, const sched::SchedEntity* wakee) {
+  if (!c.online) return;
+  if (c.current == nullptr) {
+    if (!c.in_switch) kick(c);
+    return;
+  }
+  if (!c.rq.should_preempt(wakee)) return;
+  if (c.current->in_kernel || c.in_switch) {
+    c.need_resched = true;
+    return;
+  }
+  // Wakeup preemption is immediate in CFS once the vruntime gap exceeds the
+  // wakeup granularity; the paper's 750 us minimum slice governs tick-driven
+  // preemption between runnable tasks, which the slice computation enforces.
+  do_preempt(c);
+}
+
+void Kernel::do_preempt(Core& c) {
+  deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+  schedule(c);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operations
+// ---------------------------------------------------------------------------
+
+void Kernel::perform_atomic(Core& c, Task* t, const AtomicAction& a) {
+  (void)c;
+  EO_CHECK(a.word != nullptr);
+  t->overhead += cfg_.costs.atomic_op;
+  auto& v = a.word->value_;
+  const std::uint64_t old = v;
+  bool stored = false;
+  std::uint64_t result = 0;
+  switch (a.op) {
+    case AtomicOp::kLoad:
+      result = old;
+      break;
+    case AtomicOp::kStore:
+      v = a.a;
+      stored = true;
+      break;
+    case AtomicOp::kExchange:
+      v = a.a;
+      stored = true;
+      result = old;
+      break;
+    case AtomicOp::kCompareSwap:
+      if (old == a.a) {
+        v = a.b;
+        stored = true;
+        result = 1;
+      } else {
+        result = 0;
+      }
+      break;
+    case AtomicOp::kFetchAdd:
+      v = old + a.a;
+      stored = true;
+      result = old;
+      break;
+  }
+  t->action_result = result;
+  if (stored && v != old) notify_spinners(a.word);
+}
+
+// ---------------------------------------------------------------------------
+// Futex
+// ---------------------------------------------------------------------------
+
+bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
+  auto& b = futex_.bucket_for(a.word);
+  SimDuration cost = cfg_.costs.syscall_entry;
+  cost += b.lock.acquire(now(), cfg_.costs.bucket_lock_hold) +
+          cfg_.costs.bucket_lock_hold;
+  if (a.word->value_ != a.expected) {
+    // EWOULDBLOCK: the value changed; return to userspace.
+    t->overhead += cost;
+    finish_action(t, 1);
+    return true;
+  }
+  int same_word = 0;
+  for (const auto& w : b.waiters) {
+    if (w.task->wait_word == a.word) ++same_word;
+  }
+  const bool vb = vb_policy_.use_vb_futex(same_word + 1, n_online_);
+  b.waiters.push_back(futex::Waiter{t, vb});
+  t->wait_word = a.word;
+  t->vb_waiting = vb;
+  t->block_start = now();
+  ++t->stats.futex_waits;
+  if (vb) {
+    ++stats_.vb_parks;
+    ++t->stats.vb_parks;
+    t->overhead += cost + cfg_.costs.vb_park;
+    deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
+    c.rq.vb_park(&t->se);
+  } else {
+    ++stats_.futex_sleeps;
+    if (!vb && cfg_.features.vb_futex) ++stats_.vb_fallback_vanilla;
+    t->overhead += cost + cfg_.costs.futex_wait_setup;
+    deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
+    t->state = TaskState::kSleeping;
+  }
+  schedule(c);
+  return false;
+}
+
+bool Kernel::handle_futex_wake(Core& c, Task* t, const FutexWakeAction& a) {
+  auto& b = futex_.bucket_for(a.word);
+  SimDuration cost = cfg_.costs.syscall_entry;
+  std::vector<futex::Waiter> list;
+  const int want = a.n <= 0 ? 0 : a.n;
+  SimDuration hold = cfg_.costs.bucket_lock_hold;
+  // Only waiters on this word are woken: buckets are shared by hash, and
+  // futex_wake matches the (uaddr) key while walking the bucket queue.
+  for (auto it = b.waiters.begin();
+       it != b.waiters.end() && static_cast<int>(list.size()) < want;) {
+    if (it->task->wait_word == a.word) {
+      list.push_back(*it);
+      it = b.waiters.erase(it);
+      hold += cfg_.costs.wake_q_move;
+    } else {
+      ++it;
+    }
+  }
+  cost += b.lock.acquire(now(), hold) + hold;
+  ++stats_.futex_wakes;
+  if (list.empty()) {
+    t->overhead += cost;
+    finish_action(t, 0);
+    return true;
+  }
+  start_wake_chain(c, t, std::move(list), cost);
+  return false;
+}
+
+void Kernel::start_wake_chain(Core& c, Task* waker,
+                              std::vector<futex::Waiter> list,
+                              SimDuration initial_cost) {
+  waker->in_kernel = true;
+  auto chain = std::make_shared<WakeChain>();
+  chain->waker = waker;
+  chain->waker_cpu = c.id;
+  chain->waiters = std::move(list);
+  engine_.schedule_after(initial_cost,
+                         [this, chain] { wake_chain_step(chain); });
+}
+
+void Kernel::wake_chain_step(std::shared_ptr<WakeChain> chain) {
+  if (chain->idx < chain->waiters.size()) {
+    auto& w = chain->waiters[chain->idx++];
+    if (!chain->delivered) finish_action(w.task, 0);
+    const SimDuration cost =
+        w.vb ? wake_task_vb(w.task) : wake_task_vanilla(w.task);
+    ++chain->result;
+    engine_.schedule_after(cost, [this, chain] { wake_chain_step(chain); });
+    return;
+  }
+  // Chain complete: resume the waker.
+  Task* w = chain->waker;
+  w->in_kernel = false;
+  finish_action(w, chain->result);
+  if (w->state != TaskState::kRunning) {
+    // Waker was evicted (core offlining); it resumes when next scheduled.
+    return;
+  }
+  EO_CHECK_GE(w->se.cpu, 0);
+  Core& c = core(w->se.cpu);
+  EO_CHECK_EQ(c.current, w);
+  if (c.need_resched && c.rq.nr_schedulable() > 0) {
+    deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+    schedule(c);
+    return;
+  }
+  c.need_resched = false;
+  resume_step(c, w);
+}
+
+int Kernel::select_wake_cpu(Task* t) {
+  if (t->pinned && core(t->pin_cpu).online) return t->pin_cpu;
+  int prev = t->last_cpu;
+  if (prev < 0 || !core(prev).online) prev = -1;
+  if (prev >= 0 && core(prev).rq.nr_schedulable() == 0 &&
+      core(prev).current == nullptr) {
+    return prev;  // wake-affine fast path: previous core is idle
+  }
+  // Scan for the least-loaded online core, preferring the previous socket.
+  int best = prev >= 0 ? prev : 0;
+  int best_load = 1 << 30;
+  const int prev_socket = prev >= 0 ? cfg_.topo.socket_of(prev) : -1;
+  for (int i = 0; i < n_cores(); ++i) {
+    Core& ci = core(i);
+    if (!ci.online) continue;
+    int load = ci.rq.nr_running() + (ci.current != nullptr ? 0 : -1);
+    // Prefer same socket on ties by biasing other-socket loads up.
+    if (prev_socket >= 0 && cfg_.topo.socket_of(i) != prev_socket) load += 1;
+    if (i == prev) load -= 1;  // mild wake-affinity
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+SimDuration Kernel::wake_task_vanilla(Task* t) {
+  EO_CHECK(t->state == TaskState::kSleeping);
+  ++stats_.wakeups;
+  ++t->stats.wakeups;
+  t->stats.sleep_time += now() - t->block_start;
+  t->wait_word = nullptr;
+  t->wait_epfd = -1;
+  SimDuration cost =
+      cfg_.costs.ttwu_base + n_online_ * cfg_.costs.ttwu_scan_per_core;
+  const int cpu = select_wake_cpu(t);
+  Core& tc = core(cpu);
+  cost += tc.rq_lock.acquire(now(), cfg_.costs.rq_lock_hold) +
+          cfg_.costs.rq_lock_hold;
+  if (t->last_cpu >= 0 && cpu != t->last_cpu) {
+    ++stats_.wakeup_migrations;
+    const bool cross = !cfg_.topo.same_socket(cpu, t->last_cpu);
+    (cross ? stats_.migrations_cross_node : stats_.migrations_in_node)++;
+    ++t->stats.migrations;
+    t->resume_penalty = std::max(
+        t->resume_penalty, cache_.migration_penalty(t->mem.working_set,
+                                                    cross) +
+                               cfg_.costs.migration_base);
+  }
+  t->state = TaskState::kRunnable;
+  t->last_cpu = cpu;
+  tc.rq.enqueue(&t->se, /*wakeup=*/true);
+  maybe_preempt(tc, &t->se);
+  return cost;
+}
+
+SimDuration Kernel::wake_task_vb(Task* t) {
+  EO_CHECK(t->vb_waiting);
+  ++stats_.vb_unparks;
+  ++stats_.wakeups;
+  ++t->stats.wakeups;
+  t->stats.sleep_time += now() - t->block_start;
+  t->wait_word = nullptr;
+  t->wait_epfd = -1;
+  t->vb_waiting = false;
+  EO_CHECK_GE(t->se.cpu, 0);
+  Core& tc = core(t->se.cpu);
+  if (tc.current == t) {
+    // Mid flag-check quantum: clear in place; the quantum event resumes it.
+    tc.rq.vb_clear_current(&t->se);
+  } else {
+    tc.rq.vb_unpark(&t->se);
+    t->state = TaskState::kRunnable;
+    maybe_preempt(tc, &t->se);
+  }
+  return cfg_.costs.vb_unpark;
+}
+
+// ---------------------------------------------------------------------------
+// Epoll
+// ---------------------------------------------------------------------------
+
+bool Kernel::handle_epoll_wait(Core& c, Task* t, const EpollWaitAction& a) {
+  auto& ep = epolls_.get(a.epfd);
+  SimDuration cost = cfg_.costs.syscall_entry;
+  cost += ep.lock.acquire(now(), cfg_.costs.bucket_lock_hold) +
+          cfg_.costs.bucket_lock_hold;
+  if (!ep.ready.empty()) {
+    const std::uint64_t data = ep.ready.front();
+    ep.ready.pop_front();
+    ++ep.consumed;
+    t->overhead += cost;
+    finish_action(t, data);
+    return true;
+  }
+  const bool vb = vb_policy_.use_vb_epoll(
+      static_cast<int>(ep.waiters.size()) + 1, n_online_);
+  ep.waiters.push_back(epollsim::EpollWaiter{t, vb});
+  t->wait_epfd = a.epfd;
+  t->vb_waiting = vb;
+  t->block_start = now();
+  if (vb) {
+    ++stats_.vb_parks;
+    ++t->stats.vb_parks;
+    t->overhead += cost + cfg_.costs.vb_park;
+    deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
+    c.rq.vb_park(&t->se);
+  } else {
+    ++stats_.futex_sleeps;
+    t->overhead += cost + cfg_.costs.futex_wait_setup;
+    deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
+    t->state = TaskState::kSleeping;
+  }
+  schedule(c);
+  return false;
+}
+
+bool Kernel::handle_epoll_post(Core& c, Task* t, const EpollPostAction& a) {
+  auto& ep = epolls_.get(a.epfd);
+  SimDuration cost = cfg_.costs.syscall_entry;
+  cost += ep.lock.acquire(now(), cfg_.costs.bucket_lock_hold) +
+          cfg_.costs.bucket_lock_hold;
+  ++ep.posted;
+  if (ep.waiters.empty()) {
+    ep.ready.push_back(a.data);
+    t->overhead += cost;
+    finish_action(t, 0);
+    return true;
+  }
+  const auto w = ep.waiters.front();
+  ep.waiters.pop_front();
+  ++ep.consumed;
+  finish_action(w.task, a.data);
+  std::vector<futex::Waiter> list{futex::Waiter{w.task, w.vb}};
+  // Deliver via the same serialized wake machinery, but the result is
+  // already set on the waiter; the chain only performs the wakeups.
+  start_wake_chain_delivered(c, t, std::move(list), cost);
+  return false;
+}
+
+void Kernel::start_wake_chain_delivered(Core& c, Task* waker,
+                                        std::vector<futex::Waiter> list,
+                                        SimDuration initial_cost) {
+  waker->in_kernel = true;
+  auto chain = std::make_shared<WakeChain>();
+  chain->waker = waker;
+  chain->waker_cpu = c.id;
+  chain->waiters = std::move(list);
+  chain->delivered = true;
+  engine_.schedule_after(initial_cost,
+                         [this, chain] { wake_chain_step(chain); });
+}
+
+void Kernel::epoll_post_external(int epfd, std::uint64_t data) {
+  auto& ep = epolls_.get(epfd);
+  ++ep.posted;
+  if (ep.waiters.empty()) {
+    ep.ready.push_back(data);
+    return;
+  }
+  const auto w = ep.waiters.front();
+  ep.waiters.pop_front();
+  ++ep.consumed;
+  finish_action(w.task, data);
+  // Interrupt-context wakeup: the cost is paid by the "IRQ", not a task.
+  if (w.vb) {
+    wake_task_vb(w.task);
+  } else {
+    wake_task_vanilla(w.task);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sleep / exit
+// ---------------------------------------------------------------------------
+
+void Kernel::handle_sleep(Core& c, Task* t, const SleepAction& a) {
+  t->block_start = now();
+  deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
+  t->state = TaskState::kSleeping;
+  const SimDuration d = std::max<SimDuration>(a.duration, 1);
+  engine_.schedule_after(d, [this, t] {
+    if (t->state != TaskState::kSleeping) return;
+    finish_action(t, 0);
+    wake_task_vanilla(t);
+  });
+  schedule(c);
+}
+
+void Kernel::handle_exit(Core& c, Task* t) {
+  deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
+  t->state = TaskState::kExited;
+  --live_tasks_;
+  if (live_tasks_ == 0) last_exit_time_ = now();
+  schedule(c);
+}
+
+// ---------------------------------------------------------------------------
+// BWD timer
+// ---------------------------------------------------------------------------
+
+void Kernel::bwd_timer_fire(Core& c) {
+  if (!c.online) return;
+  ++stats_.bwd_timer_fires;
+  account_segment(c);
+  const auto verdict = bwd_.evaluate(c.lbr, c.pmc, c.window);
+  if (c.window.busy > 0) bwd_accuracy_.add(verdict);
+  if (verdict.detected) {
+    ++stats_.bwd_detections;
+    Task* t = c.current;
+    if (t != nullptr && !t->in_kernel && !c.in_switch &&
+        c.rq.nr_schedulable() > 0) {
+      ++stats_.bwd_descheduled;
+      ++t->stats.bwd_descheduled;
+      deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
+      c.rq.bwd_mark_skip(&t->se);
+      schedule(c);
+    }
+  }
+  // Timer overhead is charged to whoever is running.
+  if (c.current != nullptr) c.current->overhead += cfg_.costs.bwd_timer_fire;
+  c.lbr.clear();
+  c.pmc.clear();
+  c.window = core::BwdWindowTruth{};
+}
+
+// ---------------------------------------------------------------------------
+// Load balancing
+// ---------------------------------------------------------------------------
+
+void Kernel::balance_timer_fire(Core& c) {
+  if (!c.online) return;
+  try_balance(c, /*newly_idle=*/false);
+}
+
+bool Kernel::try_balance(Core& c, bool newly_idle) {
+  if (!c.online) return false;
+  std::vector<sched::Runqueue*> rqs;
+  rqs.reserve(cores_.size());
+  for (auto& cp : cores_) rqs.push_back(&cp->rq);
+  const auto d = balancer_.find_pull(
+      c.id, rqs, [this](int i) { return core(i).online; }, newly_idle);
+  if (!d) return false;
+  apply_migration(*d);
+  return true;
+}
+
+void Kernel::apply_migration(const sched::BalanceDecision& d) {
+  Core& src = core(d.src_cpu);
+  Core& dst = core(d.dst_cpu);
+  Task* t = task_of(d.victim);
+  src.rq.dequeue(d.victim);
+  (d.cross_socket ? stats_.migrations_cross_node
+                  : stats_.migrations_in_node)++;
+  ++t->stats.migrations;
+  t->resume_penalty = std::max(
+      t->resume_penalty,
+      cache_.migration_penalty(t->mem.working_set, d.cross_socket) +
+          cfg_.costs.migration_base);
+  // Translate vruntime into the destination queue's window.
+  d.victim->vruntime = d.victim->vruntime - src.rq.min_vruntime() +
+                       dst.rq.min_vruntime();
+  t->last_cpu = d.dst_cpu;
+  dst.rq.enqueue(d.victim, /*wakeup=*/false);
+  kick(dst);
+}
+
+}  // namespace eo::kern

@@ -1,0 +1,288 @@
+// The simulated OS kernel.
+//
+// Owns the event engine, cores and their CFS runqueues, the futex and epoll
+// subsystems, the per-core hardware monitoring state (LBR/PMC), and the
+// paper's two mechanisms (virtual blocking and busy-waiting detection). It
+// interprets the Actions issued by task coroutines, advancing simulated time
+// through engine events.
+//
+// Threading model: one Kernel instance is strictly single-(host-)threaded.
+// Benches run many Kernels concurrently, one per host thread.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/bwd.h"
+#include "core/config.h"
+#include "core/vb_policy.h"
+#include "epollsim/epoll.h"
+#include "futex/futex.h"
+#include "hw/cache_model.h"
+#include "hw/instr_stream.h"
+#include "hw/lbr.h"
+#include "hw/ple.h"
+#include "hw/pmc.h"
+#include "hw/topology.h"
+#include "kern/klock.h"
+#include "kern/task.h"
+#include "sched/cfs.h"
+#include "sched/hrtimer.h"
+#include "sched/load_balancer.h"
+#include "sched/runqueue.h"
+#include "sched/sched_stats.h"
+#include "sim/engine.h"
+
+namespace eo::kern {
+
+struct KernelConfig {
+  hw::Topology topo = hw::Topology::make_cores(8, 1);
+  sched::CfsParams cfs;
+  core::Features features;
+  core::CostModel costs;
+  hw::CacheParams cache;
+  hw::TlbParams tlb;
+  hw::InstrProfile instr;
+  hw::PleParams ple;  ///< `enabled` is overridden from features.ple
+  std::uint64_t seed = 0x5eedbeef;
+  /// Reference per-thread footprint for compute-rate calibration; 0 means
+  /// "use the task's own footprint" (no relative scaling).
+  std::uint64_t ref_footprint = 0;
+};
+
+/// Per-core utilization/diagnostic counters.
+struct CoreMetrics {
+  SimDuration busy = 0;        ///< any execution (incl. kernel wake chains)
+  SimDuration spin_busy = 0;   ///< busy time spent in spin segments
+  SimDuration vb_check = 0;    ///< busy time spent in VB flag-check quanta
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig cfg);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- configuration access ---
+  const KernelConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return engine_; }
+  SimTime now() const { return engine_.now(); }
+  int n_cores() const { return static_cast<int>(cores_.size()); }
+  int online_cores() const { return n_online_; }
+
+  // --- task lifecycle (used by the runtime layer) ---
+  /// Creates a task; the runtime attaches a coroutine before starting it.
+  Task* create_task(std::string name);
+  /// Attaches the top-level coroutine (owning handle + initial resume point).
+  void attach_coroutine(Task* t, std::coroutine_handle<> top);
+  /// Places the task on a runqueue (round-robin if cpu < 0) and makes it
+  /// runnable. Must be called once, after attach_coroutine.
+  void start_task(Task* t, int cpu = -1);
+  /// Pins the task to a core (wakeups and balancing will not move it).
+  void pin_task(Task* t, int cpu);
+
+  /// Thread-local current task, set while the kernel resumes a coroutine;
+  /// used by the runtime's awaitables.
+  static Task* current();
+
+  // --- simulated resources ---
+  SimWord* alloc_word(std::uint64_t init = 0);
+  int epoll_create();
+  /// Injects an event into an epoll instance from outside the simulation
+  /// (e.g. the client load generator); wakes a waiter if one is blocked.
+  void epoll_post_external(int epfd, std::uint64_t data);
+
+  // --- execution ---
+  /// Runs the simulation until `t` (absolute).
+  void run_until(SimTime t);
+  /// Runs until all started tasks have exited or `deadline` passes.
+  /// Returns true if all tasks exited.
+  bool run_to_exit(SimTime deadline);
+  int live_tasks() const { return live_tasks_; }
+  /// Time the last live task exited (valid once live_tasks() == 0); the
+  /// workload's true completion time, independent of run chunking.
+  SimTime last_exit_time() const { return last_exit_time_; }
+
+  // --- elasticity ---
+  /// Brings cores [0, n) online and the rest offline, migrating tasks off
+  /// offlined cores (models runtime CPU re-provisioning of a container).
+  void set_online_cores(int n);
+
+  // --- metrics ---
+  const sched::SchedStats& stats() const { return stats_; }
+  const core::BwdAccuracy& bwd_accuracy() const { return bwd_accuracy_; }
+  const CoreMetrics& core_metrics(int cpu) const {
+    return cores_[static_cast<size_t>(cpu)]->metrics;
+  }
+  /// Aggregate utilization of online cores since the last reset, as a
+  /// percentage where each core contributes up to 100 (Table 1 style).
+  double cpu_utilization_percent() const;
+  SimDuration total_busy() const;
+  SimDuration total_spin_busy() const;
+  /// Clears utilization/stat counters (not task state); call after warmup.
+  void reset_metrics();
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+
+ private:
+  struct Core {
+    explicit Core(int id_in, const sched::CfsParams* cfs)
+        : id(id_in), rq(id_in, cfs) {}
+
+    int id;
+    bool online = true;
+    sched::Runqueue rq;
+    KLock rq_lock;
+    Task* current = nullptr;
+
+    /// Pending completion/quantum event for the running task.
+    sim::EventId run_event = sim::kInvalidEvent;
+    /// Deferred wakeup-preemption event (min_granularity enforcement).
+    sim::EventId preempt_event = sim::kInvalidEvent;
+    /// A kick (idle wake) is already scheduled.
+    bool kick_pending = false;
+    /// Wakeup preemption requested while current is non-preemptible.
+    bool need_resched = false;
+    /// Currently charging a context-switch delay.
+    bool in_switch = false;
+
+    /// The task last run, to distinguish real switches from re-picks.
+    Task* last_task = nullptr;
+
+    /// Busy-interval accounting: busy_since is valid while busy_valid.
+    bool busy_valid = false;
+    SimTime busy_since = 0;
+
+    /// Start and SMT speed of the current compute/spin run interval.
+    SimTime run_start = 0;
+    double run_speed = 1.0;
+
+    /// Execution-segment tracking for LBR/PMC accounting.
+    SimTime seg_start = 0;
+    hw::SegmentKind seg_kind = hw::SegmentKind::kRegular;
+    hw::BranchSite seg_site = hw::kVariedSites;
+    bool seg_pause = false;
+
+    hw::LbrState lbr;
+    hw::Pmc pmc;
+    core::BwdWindowTruth window;
+    sched::RepeatingTimer bwd_timer;
+    sched::RepeatingTimer balance_timer;
+    Rng rng;
+
+    CoreMetrics metrics;
+  };
+
+  /// One asynchronous futex/epoll wake chain (serialized in the waker).
+  struct WakeChain {
+    Task* waker = nullptr;
+    int waker_cpu = -1;
+    std::vector<futex::Waiter> waiters;
+    std::size_t idx = 0;
+    std::uint64_t result = 0;
+    /// Results were already delivered to the waiters (epoll path).
+    bool delivered = false;
+  };
+
+  // --- scheduling machinery ---
+  Core& core(int id) { return *cores_[static_cast<size_t>(id)]; }
+  void schedule(Core& c);
+  void begin_current(Core& c);
+  void resume_step(Core& c, Task* t);
+  void setup_compute(Core& c, Task* t, ComputeAction& a);
+  void compute_event(Core& c);
+  void setup_spin(Core& c, Task* t, SpinUntilAction& a);
+  void spin_slice_event(Core& c);
+  void spin_exit_event(Task* t, SimWord* w);
+  void setup_vb_check(Core& c, Task* t);
+  void finish_action(Task* t, std::uint64_t result);
+  /// Cancels the pending run event, accruing compute progress / spinner
+  /// registration as appropriate.
+  void stop_run(Core& c);
+  /// Accounts vruntime/busy/LBR for the running interval ending now, and
+  /// removes current from the core (requeue => stays runnable).
+  void deschedule_current(Core& c, bool requeue, bool voluntary);
+  void account_segment(Core& c);
+  /// Charges vruntime/cpu_time for execution since exec_start and restarts
+  /// the interval (slice renewal).
+  void account_tick(Core& c);
+  void set_segment(Core& c, hw::SegmentKind kind, hw::BranchSite site,
+                   bool pause);
+  void kick(Core& c);
+  void maybe_preempt(Core& c, const sched::SchedEntity* wakee);
+  void do_preempt(Core& c);
+  bool smt_sibling_busy(const Core& c) const;
+  double execution_speed(const Core& c) const;
+  SimDuration slice_left(Core& c, Task* t) const;
+
+  // --- action handlers ---
+  void perform_atomic(Core& c, Task* t, const AtomicAction& a);
+  bool handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a);
+  bool handle_futex_wake(Core& c, Task* t, const FutexWakeAction& a);
+  bool handle_epoll_wait(Core& c, Task* t, const EpollWaitAction& a);
+  bool handle_epoll_post(Core& c, Task* t, const EpollPostAction& a);
+  void handle_sleep(Core& c, Task* t, const SleepAction& a);
+  void handle_exit(Core& c, Task* t);
+
+  // --- wake machinery ---
+  void start_wake_chain(Core& c, Task* waker, std::vector<futex::Waiter> list,
+                        SimDuration initial_cost);
+  void start_wake_chain_delivered(Core& c, Task* waker,
+                                  std::vector<futex::Waiter> list,
+                                  SimDuration initial_cost);
+  void wake_chain_step(std::shared_ptr<WakeChain> chain);
+  /// Vanilla wakeup of a sleeping task: core selection, enqueue, preempt.
+  /// Returns the waker-side cost.
+  SimDuration wake_task_vanilla(Task* t);
+  /// VB wakeup: clear the flag, restore vruntime. Returns waker-side cost.
+  SimDuration wake_task_vb(Task* t);
+  int select_wake_cpu(Task* t);
+  void notify_spinners(SimWord* word);
+  void spinner_exit(Core& c, Task* t);
+
+  // --- timers ---
+  void bwd_timer_fire(Core& c);
+  void balance_timer_fire(Core& c);
+  bool try_balance(Core& c, bool newly_idle);
+  void apply_migration(const sched::BalanceDecision& d);
+
+  KernelConfig cfg_;
+  sim::Engine engine_;
+  hw::CacheModel cache_;
+  hw::InstrStreamModel instr_;
+  hw::PleModel ple_;
+  core::VbPolicy vb_policy_;
+  core::BwdDetector bwd_;
+  sched::LoadBalancer balancer_;
+  futex::FutexTable futex_;
+  epollsim::EpollTable epolls_;
+
+  std::vector<std::unique_ptr<Core>> cores_;
+  int n_online_ = 0;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::deque<SimWord> words_;
+  int next_tid_ = 1;
+  int next_start_cpu_ = 0;
+  int live_tasks_ = 0;
+
+  sched::SchedStats stats_;
+  core::BwdAccuracy bwd_accuracy_;
+  SimTime metrics_reset_time_ = 0;
+  SimTime last_exit_time_ = 0;
+  bool pinned_violation_ = false;
+  Rng rng_;
+
+ public:
+  /// A pinned task's core went offline (the paper: such programs crashed).
+  bool pinned_violation() const { return pinned_violation_; }
+};
+
+}  // namespace eo::kern

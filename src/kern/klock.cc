@@ -1,0 +1,2 @@
+// KLock is header-only; anchor translation unit.
+#include "kern/klock.h"

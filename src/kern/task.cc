@@ -1,0 +1,6 @@
+#include "kern/task.h"
+
+namespace eo::kern {
+// to_string(TaskState) is defined alongside the kernel (kernel.cc) to keep
+// task.h header-only consumers light; this TU anchors the module.
+}  // namespace eo::kern

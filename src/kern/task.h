@@ -1,0 +1,103 @@
+// Simulated task (thread).
+//
+// The analogue of `task_struct`: identity, run state, the embedded
+// scheduling entity, the coroutine driving the thread's program, the pending
+// action being interpreted by the kernel, and per-task statistics.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+#include "hw/cache_model.h"
+#include "kern/action.h"
+#include "sched/entity.h"
+
+namespace eo::kern {
+
+enum class TaskState {
+  kNew,       ///< created, not yet started
+  kRunnable,  ///< on a runqueue (possibly VB-parked)
+  kRunning,   ///< currently on a core
+  kSleeping,  ///< off the runqueue (vanilla blocking or nanosleep)
+  kExited,
+};
+
+const char* to_string(TaskState s);
+
+struct TaskStats {
+  SimDuration cpu_time = 0;       ///< wall time on a core (incl. spinning)
+  SimDuration spin_time = 0;      ///< portion of cpu_time spent busy-waiting
+  SimDuration sleep_time = 0;     ///< time blocked (vanilla sleep or VB park)
+  std::uint64_t voluntary_switches = 0;
+  std::uint64_t involuntary_switches = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t futex_waits = 0;
+  std::uint64_t vb_parks = 0;
+  std::uint64_t bwd_descheduled = 0;
+};
+
+struct Task {
+  Task(int tid_in, std::string name_in) : tid(tid_in), name(std::move(name_in)) {
+    se.task = this;
+  }
+  ~Task() {
+    if (top) top.destroy();
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  int tid;
+  std::string name;
+  TaskState state = TaskState::kNew;
+  sched::SchedEntity se;
+
+  /// Owning handle of the thread's top-level coroutine.
+  std::coroutine_handle<> top;
+  /// Innermost suspended coroutine; what the kernel resumes.
+  std::coroutine_handle<> resume_point;
+
+  /// Action awaiting kernel interpretation.
+  Action pending;
+  /// Result delivered to the awaitable's await_resume.
+  std::uint64_t action_result = 0;
+
+  /// Cost of synchronously interpreted operations, charged as wall time at
+  /// the next scheduling boundary.
+  SimDuration overhead = 0;
+  /// One-shot penalty (cache refill after context switch / migration)
+  /// charged when the task next runs.
+  SimDuration resume_penalty = 0;
+
+  /// Memory behaviour of the current program phase.
+  hw::MemProfile mem;
+
+  int last_cpu = -1;
+  bool pinned = false;
+  int pin_cpu = -1;
+
+  /// Set while the kernel is executing an asynchronous wake chain on this
+  /// task's behalf (non-preemptible, as kernel code is).
+  bool in_kernel = false;
+
+  /// Block bookkeeping: the futex word or epoll fd the task waits on.
+  SimWord* wait_word = nullptr;
+  int wait_epfd = -1;
+  /// Blocked via virtual blocking (still on the runqueue) vs vanilla sleep.
+  bool vb_waiting = false;
+  /// Time the current block started (for sleep_time accounting).
+  SimTime block_start = 0;
+
+  TaskStats stats;
+
+  /// Keeps the thread-function object (lambda captures) alive for the
+  /// coroutine frame's lifetime.
+  std::shared_ptr<void> keepalive;
+
+  bool exited() const { return state == TaskState::kExited; }
+};
+
+}  // namespace eo::kern

@@ -1,0 +1,2 @@
+// WakeQ is header-only; anchor translation unit.
+#include "kern/wake_q.h"

@@ -1,0 +1,26 @@
+// wake_q: deferred-wakeup list.
+//
+// Linux's futex_wake moves waiters from the hash-bucket queue onto a
+// temporary wake_q under the bucket lock (cheap), releases the lock, and
+// only then performs the expensive per-waiter try_to_wake_up calls. The
+// paper identifies both halves as serialization sources under
+// oversubscription. The structure itself is trivial; the costs are charged
+// by the kernel when it drains the list.
+#pragma once
+
+#include <vector>
+
+namespace eo::kern {
+
+struct Task;
+
+struct WakeQ {
+  std::vector<Task*> tasks;
+
+  void add(Task* t) { tasks.push_back(t); }
+  bool empty() const { return tasks.empty(); }
+  std::size_t size() const { return tasks.size(); }
+  void clear() { tasks.clear(); }
+};
+
+}  // namespace eo::kern

@@ -1,0 +1,255 @@
+#include "locks/blocking_locks.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "runtime/mutex.h"
+#include "runtime/spin.h"
+
+namespace eo::locks {
+
+using runtime::Env;
+using runtime::next_spin_site;
+using runtime::SimCall;
+
+const char* to_string(BlockingLockKind k) {
+  switch (k) {
+    case BlockingLockKind::kPthreadMutex:
+      return "pthread";
+    case BlockingLockKind::kMutexee:
+      return "mutexee";
+    case BlockingLockKind::kMcsTp:
+      return "mcstp";
+    case BlockingLockKind::kShflLock:
+      return "shfllock";
+  }
+  return "?";
+}
+
+const std::vector<BlockingLockKind>& all_blocking_lock_kinds() {
+  static const std::vector<BlockingLockKind> kinds = {
+      BlockingLockKind::kPthreadMutex,
+      BlockingLockKind::kMutexee,
+      BlockingLockKind::kMcsTp,
+      BlockingLockKind::kShflLock,
+  };
+  return kinds;
+}
+
+namespace {
+
+/// Spin budget before parking (Mutexee uses a few hundred pause iterations;
+/// ~30 µs is representative on the modeled hardware).
+constexpr SimDuration kSpinBudget = 8'000;
+
+// --- pthread mutex wrapper ----------------------------------------------------
+
+class PthreadMutexLock final : public BlockingLock {
+ public:
+  explicit PthreadMutexLock(kern::Kernel& k) : m_(k) {}
+  SimCall<void> lock(Env env, int) override { return m_.lock(env); }
+  SimCall<void> unlock(Env env, int) override { return m_.unlock(env); }
+  const char* name() const override { return "pthread"; }
+
+ private:
+  runtime::SimMutex m_;
+};
+
+// --- Mutexee -------------------------------------------------------------------
+
+class MutexeeLock final : public BlockingLock {
+ public:
+  explicit MutexeeLock(kern::Kernel& k)
+      : state_(k.alloc_word(0)), site_(next_spin_site()) {}
+
+  SimCall<void> lock(Env env, int) override {
+    for (;;) {
+      const std::uint64_t won = co_await env.cas(state_, 0, 1);
+      if (won) co_return;
+      // Spin phase (with PAUSE) bounded by the spin budget.
+      const std::uint64_t ok = co_await env.spin_until_timeout(
+          state_, [](std::uint64_t v) { return (v & 1) == 0; }, site_,
+          kSpinBudget, /*uses_pause=*/true);
+      if (ok) continue;  // lock looked free; retry the CAS
+      // Park: advertise a sleeper (bit 1) and futex-wait. CAS so a release
+      // racing between the load and the store is not overwritten.
+      const std::uint64_t v = co_await env.load(state_);
+      if ((v & 1) == 0) continue;
+      const std::uint64_t marked = co_await env.cas(state_, v, v | 2);
+      if (!marked) continue;
+      co_await env.futex_wait(state_, v | 2);
+      // Woken: acquire in the contended state (locked + sleepers). Taking
+      // the lock with a bare CAS(0, 1) here would erase the sleeper bit and
+      // strand the remaining parked waiters (lost wakeup).
+      for (;;) {
+        const std::uint64_t prev = co_await env.exchange(state_, 3);
+        if ((prev & 1) == 0) co_return;
+        co_await env.futex_wait(state_, 3);
+      }
+    }
+  }
+  SimCall<void> unlock(Env env, int) override {
+    const std::uint64_t prev = co_await env.exchange(state_, 0);
+    if (prev & 2) co_await env.futex_wake(state_, 1);
+    co_return;
+  }
+  const char* name() const override { return "mutexee"; }
+
+ private:
+  kern::SimWord* state_;
+  hw::BranchSite site_;
+};
+
+// --- MCS-TP ---------------------------------------------------------------------
+
+class McsTpLock final : public BlockingLock {
+ public:
+  McsTpLock(kern::Kernel& k, int max_threads)
+      : site_(next_spin_site()), flag_(static_cast<size_t>(max_threads)) {
+    for (auto& f : flag_) f = k.alloc_word(0);
+  }
+
+  SimCall<void> lock(Env env, int slot) override {
+    // Enqueue (atomic segment).
+    const bool was_free = !held_ && queue_.empty();
+    if (was_free) {
+      held_ = true;
+      co_await env.fetch_add(flag_[static_cast<size_t>(slot)], 0);
+      co_return;
+    }
+    queue_.push_back(slot);
+    co_await env.store(flag_[static_cast<size_t>(slot)], 0);
+    for (;;) {
+      // Time-published spin: spin for a budget, then park on the flag.
+      const std::uint64_t got = co_await env.spin_until_timeout(
+          flag_[static_cast<size_t>(slot)],
+          [](std::uint64_t v) { return v == 1; }, site_, kSpinBudget);
+      if (got) break;
+      const std::uint64_t v = co_await env.load(flag_[static_cast<size_t>(slot)]);
+      if (v == 1) break;
+      co_await env.futex_wait(flag_[static_cast<size_t>(slot)], 0);
+      const std::uint64_t after = co_await env.load(flag_[static_cast<size_t>(slot)]);
+      if (after == 1) break;
+    }
+    held_ = true;
+    co_return;
+  }
+  SimCall<void> unlock(Env env, int slot) override {
+    (void)slot;
+    held_ = false;
+    if (queue_.empty()) co_return;
+    const int succ = queue_.front();
+    queue_.pop_front();
+    held_ = true;  // handed directly to the successor
+    co_await env.store(flag_[static_cast<size_t>(succ)], 1);
+    co_await env.futex_wake(flag_[static_cast<size_t>(succ)], 1);
+    co_return;
+  }
+  const char* name() const override { return "mcstp"; }
+
+ private:
+  hw::BranchSite site_;
+  std::vector<kern::SimWord*> flag_;
+  std::deque<int> queue_;
+  bool held_ = false;
+};
+
+// --- SHFLLOCK -------------------------------------------------------------------
+
+class ShflLock final : public BlockingLock {
+ public:
+  ShflLock(kern::Kernel& k, int max_threads)
+      : kernel_(&k), state_(k.alloc_word(0)), site_(next_spin_site()),
+        flag_(static_cast<size_t>(max_threads)) {
+    for (auto& f : flag_) f = k.alloc_word(0);
+  }
+
+  SimCall<void> lock(Env env, int slot) override {
+    // Lock stealing: try the TAS word first, even with waiters queued.
+    const std::uint64_t won = co_await env.cas(state_, 0, 1);
+    if (won) {
+      holder_socket_ = socket_of(env);
+      co_return;
+    }
+    queue_.push_back({slot, socket_of(env)});
+    co_await env.store(flag_[static_cast<size_t>(slot)], 0);
+    for (;;) {
+      // Head waiter spins briefly (shufflers run in the waiting phase in the
+      // real lock; the reorder cost is charged at wake time here).
+      const std::uint64_t got = co_await env.spin_until_timeout(
+          flag_[static_cast<size_t>(slot)],
+          [](std::uint64_t v) { return v == 1; }, site_, kSpinBudget);
+      if (got) break;
+      const std::uint64_t before = co_await env.load(flag_[static_cast<size_t>(slot)]);
+      if (before == 1) break;
+      co_await env.futex_wait(flag_[static_cast<size_t>(slot)], 0);
+      const std::uint64_t after = co_await env.load(flag_[static_cast<size_t>(slot)]);
+      if (after == 1) break;
+    }
+    // Woken as the designated next holder: take the word.
+    for (;;) {
+      const std::uint64_t won2 = co_await env.cas(state_, 0, 1);
+      if (won2) break;
+      co_await env.spin_until_eq(state_, 0, site_);
+    }
+    holder_socket_ = socket_of(env);
+    co_return;
+  }
+  SimCall<void> unlock(Env env, int slot) override {
+    (void)slot;
+    co_await env.store(state_, 0);
+    if (queue_.empty()) co_return;
+    // Shuffle: move same-socket waiters ahead of the rest (the NUMA-aware
+    // policy that, as the paper notes, always prefers the holder's socket
+    // and can starve remote waiters / cause load fluctuation).
+    std::stable_partition(queue_.begin(), queue_.end(),
+                          [this](const Waiter& w) {
+                            return w.socket == holder_socket_;
+                          });
+    const int succ = queue_.front().slot;
+    queue_.pop_front();
+    co_await env.store(flag_[static_cast<size_t>(succ)], 1);
+    co_await env.futex_wake(flag_[static_cast<size_t>(succ)], 1);
+    co_return;
+  }
+  const char* name() const override { return "shfllock"; }
+
+ private:
+  struct Waiter {
+    int slot;
+    int socket;
+  };
+  int socket_of(Env env) const {
+    const int cpu = env.task().last_cpu;
+    return cpu >= 0 ? kernel_->config().topo.socket_of(cpu) : 0;
+  }
+
+  kern::Kernel* kernel_;
+  kern::SimWord* state_;
+  hw::BranchSite site_;
+  std::vector<kern::SimWord*> flag_;
+  std::deque<Waiter> queue_;
+  int holder_socket_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<BlockingLock> make_blocking_lock(BlockingLockKind kind,
+                                                 kern::Kernel& k,
+                                                 int max_threads) {
+  EO_CHECK_GT(max_threads, 0);
+  switch (kind) {
+    case BlockingLockKind::kPthreadMutex:
+      return std::make_unique<PthreadMutexLock>(k);
+    case BlockingLockKind::kMutexee:
+      return std::make_unique<MutexeeLock>(k);
+    case BlockingLockKind::kMcsTp:
+      return std::make_unique<McsTpLock>(k, max_threads);
+    case BlockingLockKind::kShflLock:
+      return std::make_unique<ShflLock>(k, max_threads);
+  }
+  return nullptr;
+}
+
+}  // namespace eo::locks

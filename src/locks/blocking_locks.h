@@ -1,0 +1,49 @@
+// Spin-then-park locks and SHFLLOCK (the comparison set of the paper's
+// Section 4.4 / Figure 15):
+//
+//   Mutexee  [14]  energy-friendly mutex: bounded spin, then futex park.
+//   MCS-TP   [17]  time-published MCS: queue waiters spin with a timeout,
+//                  then park; the holder wakes the next published waiter.
+//   SHFLLOCK [21]  queue lock with a "shuffler" that reorders the waiter
+//                  queue by NUMA socket before waking; waiters spin briefly
+//                  and park.
+//   Pthread        the plain futex mutex (runtime::SimMutex) for reference.
+//
+// All of them ultimately rely on the kernel futex for parking — which is
+// precisely why, as the paper finds, they still collapse under thread
+// oversubscription on a vanilla kernel: the sleep/wakeup path, not the lock
+// policy, is the bottleneck.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kern/kernel.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+
+namespace eo::locks {
+
+enum class BlockingLockKind {
+  kPthreadMutex,
+  kMutexee,
+  kMcsTp,
+  kShflLock,
+};
+
+const char* to_string(BlockingLockKind k);
+const std::vector<BlockingLockKind>& all_blocking_lock_kinds();
+
+class BlockingLock {
+ public:
+  virtual ~BlockingLock() = default;
+  virtual runtime::SimCall<void> lock(runtime::Env env, int slot) = 0;
+  virtual runtime::SimCall<void> unlock(runtime::Env env, int slot) = 0;
+  virtual const char* name() const = 0;
+};
+
+std::unique_ptr<BlockingLock> make_blocking_lock(BlockingLockKind kind,
+                                                 kern::Kernel& k,
+                                                 int max_threads);
+
+}  // namespace eo::locks

@@ -1,0 +1,66 @@
+// The ten spinlock algorithms studied by the paper (Figure 13, Table 2),
+// following the taxonomy of Kashyap et al. [21]:
+//
+//   alock-ls     Anderson array lock with local spinning
+//   CLH          Craig/Landin/Hagersten implicit-queue lock
+//   Malth        Malthusian lock (Dice): LIFO admission culls active spinners
+//   MCS          Mellor-Crummey/Scott explicit-queue lock
+//   Partitioned  partitioned ticket lock (multiple grant slots)
+//   Pthread      pthread_spin-style exchange loop (PAUSE in the body)
+//   Ticket       classic ticket lock
+//   TTAS         test-and-test-and-set
+//   CNA          compact NUMA-aware lock (socket-partitioned MCS)
+//   AQS          qspinlock-style: TAS word + pending spinner + queue
+//
+// Each is written against the simulated word/spin primitives, so every
+// algorithm's waiting really executes as spin segments the BWD machinery can
+// (or cannot) detect. Queue-lock bookkeeping that real implementations keep
+// in per-thread nodes is kept in host-side state mutated between awaits —
+// each inter-await segment is atomic in the simulation, which is exactly the
+// atomicity a real implementation gets from its word-sized CAS.
+//
+// `slot` is the caller's dense thread index [0, max_threads); queue locks
+// use it to address their per-thread nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kern/kernel.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+
+namespace eo::locks {
+
+enum class SpinLockKind {
+  kAlockLs,
+  kClh,
+  kMalthusian,
+  kMcs,
+  kPartitioned,
+  kPthreadSpin,
+  kTicket,
+  kTtas,
+  kCna,
+  kAqs,
+};
+
+/// All ten kinds, in the display order of the paper's Figure 13.
+const std::vector<SpinLockKind>& all_spinlock_kinds();
+const char* to_string(SpinLockKind k);
+
+class SpinLock {
+ public:
+  virtual ~SpinLock() = default;
+  virtual runtime::SimCall<void> lock(runtime::Env env, int slot) = 0;
+  virtual runtime::SimCall<void> unlock(runtime::Env env, int slot) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Factory. `max_threads` bounds the slot index.
+std::unique_ptr<SpinLock> make_spinlock(SpinLockKind kind, kern::Kernel& k,
+                                        int max_threads);
+
+}  // namespace eo::locks

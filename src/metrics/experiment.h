@@ -1,0 +1,52 @@
+// Experiment harness: one simulated machine run, with the paper's standard
+// configurations (vanilla / optimized, container / VM, N cores or N
+// hyper-threads) expressed declaratively. Benches compose these into sweeps
+// and run independent configurations on host threads via ThreadPool.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/bwd.h"
+#include "core/config.h"
+#include "kern/kernel.h"
+#include "sched/sched_stats.h"
+
+namespace eo::metrics {
+
+struct RunConfig {
+  /// Logical CPUs visible to the container.
+  int cpus = 8;
+  int sockets = 2;
+  /// If true, the CPUs are hyper-thread pairs on cpus/2 physical cores.
+  bool smt = false;
+  core::Features features;
+  core::CostModel costs;
+  std::uint64_t seed = 1;
+  /// Simulated-time budget; a workload not finishing by then is reported
+  /// as incomplete with exec_time == deadline.
+  SimTime deadline = 60_s;
+  /// Reference per-thread footprint for compute-rate scaling (0 = off).
+  std::uint64_t ref_footprint = 0;
+};
+
+struct RunResult {
+  bool completed = false;
+  SimDuration exec_time = 0;
+  double utilization_percent = 0.0;
+  SimDuration spin_busy = 0;
+  sched::SchedStats stats;
+  core::BwdAccuracy bwd;
+  bool pinned_violation = false;
+};
+
+/// Builds a kernel per `cfg`, lets `setup` spawn the workload, runs to
+/// completion (or deadline), and collects the result.
+RunResult run_experiment(const RunConfig& cfg,
+                         const std::function<void(kern::Kernel&)>& setup);
+
+/// Builds the KernelConfig for a RunConfig (for benches that need to drive
+/// the kernel manually, e.g. open-loop servers and elasticity sweeps).
+kern::KernelConfig make_kernel_config(const RunConfig& cfg);
+
+}  // namespace eo::metrics

@@ -1,0 +1,2 @@
+// LatencyRecorder is header-only; anchor translation unit.
+#include "metrics/latency_recorder.h"

@@ -1,0 +1,35 @@
+// Request-latency recorder for the server workloads (memcached, Figure 12).
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace eo::metrics {
+
+class LatencyRecorder {
+ public:
+  void record(SimDuration latency) { hist_.add(latency); }
+
+  std::uint64_t count() const { return hist_.total_count(); }
+  double mean_us() const { return to_us(static_cast<SimDuration>(hist_.mean())); }
+  double p50_us() const { return to_us(hist_.p50()); }
+  double p95_us() const { return to_us(hist_.p95()); }
+  double p99_us() const { return to_us(hist_.p99()); }
+  double max_us() const { return to_us(hist_.max()); }
+
+  /// Completed operations per second of simulated time.
+  double throughput(SimDuration window) const {
+    if (window <= 0) return 0.0;
+    return static_cast<double>(count()) / to_sec(window);
+  }
+
+  void clear() { hist_.clear(); }
+  const Histogram& histogram() const { return hist_; }
+
+ private:
+  Histogram hist_;
+};
+
+}  // namespace eo::metrics

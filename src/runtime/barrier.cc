@@ -1,0 +1,23 @@
+#include "runtime/barrier.h"
+
+namespace eo::runtime {
+
+SimCall<void> SimBarrier::wait(Env env) {
+  const std::uint64_t gen = co_await env.load(gen_);
+  const std::uint64_t arrived = co_await env.fetch_add(count_, 1) + 1;
+  if (arrived == static_cast<std::uint64_t>(parties_)) {
+    // Last arriver: reset and release the generation.
+    co_await env.store(count_, 0);
+    co_await env.store(gen_, gen + 1);
+    co_await env.futex_wake(gen_, Env::kWakeAll);
+    co_return;
+  }
+  for (;;) {
+    const std::uint64_t g = co_await env.load(gen_);
+    if (g != gen) break;
+    co_await env.futex_wait(gen_, gen);
+  }
+  co_return;
+}
+
+}  // namespace eo::runtime

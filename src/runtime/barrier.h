@@ -1,0 +1,30 @@
+// SimBarrier: glibc-style centralized futex barrier.
+//
+// A generation counter plus an arrival counter: the last arriver flips the
+// generation and futex_wakes everyone. Group wakeups of N-1 threads are the
+// worst case for the vanilla wakeup path and the best case for virtual
+// blocking (paper Figure 10: barrier 1.52x, cond 2.34x on one core).
+#pragma once
+
+#include "kern/action.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+
+namespace eo::runtime {
+
+class SimBarrier {
+ public:
+  SimBarrier(kern::Kernel& k, int parties)
+      : count_(k.alloc_word(0)), gen_(k.alloc_word(0)), parties_(parties) {}
+
+  SimCall<void> wait(Env env);
+
+  int parties() const { return parties_; }
+
+ private:
+  kern::SimWord* count_;
+  kern::SimWord* gen_;
+  int parties_;
+};
+
+}  // namespace eo::runtime

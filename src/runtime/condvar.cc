@@ -1,0 +1,25 @@
+#include "runtime/condvar.h"
+
+namespace eo::runtime {
+
+SimCall<void> SimCond::wait(Env env, SimMutex& m) {
+  const std::uint64_t seq = co_await env.load(seq_);
+  co_await m.unlock(env);
+  co_await env.futex_wait(seq_, seq);
+  co_await m.lock(env);
+  co_return;
+}
+
+SimCall<void> SimCond::signal(Env env) {
+  co_await env.fetch_add(seq_, 1);
+  co_await env.futex_wake(seq_, 1);
+  co_return;
+}
+
+SimCall<void> SimCond::broadcast(Env env) {
+  co_await env.fetch_add(seq_, 1);
+  co_await env.futex_wake(seq_, Env::kWakeAll);
+  co_return;
+}
+
+}  // namespace eo::runtime

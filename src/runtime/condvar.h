@@ -1,0 +1,31 @@
+// SimCond: futex-sequence condition variable (glibc-style, simplified).
+//
+// wait() snapshots a sequence number, releases the mutex, futex_waits on the
+// sequence, and reacquires the mutex; signal/broadcast bump the sequence and
+// wake one/all. Broadcast storms under oversubscription are the paper's
+// worst case for vanilla wakeups.
+#pragma once
+
+#include "kern/action.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+#include "runtime/mutex.h"
+
+namespace eo::runtime {
+
+class SimCond {
+ public:
+  explicit SimCond(kern::Kernel& k) : seq_(k.alloc_word(0)) {}
+
+  /// Caller must hold `m`; atomically releases it and blocks until signaled,
+  /// then reacquires. Spurious wakeups are possible (as with pthreads).
+  SimCall<void> wait(Env env, SimMutex& m);
+
+  SimCall<void> signal(Env env);
+  SimCall<void> broadcast(Env env);
+
+ private:
+  kern::SimWord* seq_;
+};
+
+}  // namespace eo::runtime

@@ -1,0 +1,181 @@
+// Coroutine machinery for simulated threads.
+//
+// A simulated thread's program is a C++20 coroutine of type `SimThread`.
+// Library code (locks, barriers) is written as `SimCall<T>` coroutines that
+// compose via symmetric transfer, so a workload reads like pthreads code:
+//
+//   SimThread worker(Env env, Args a) {
+//     co_await env.compute(200_us);
+//     co_await mutex.lock(env);       // SimCall<void>
+//     ...
+//   }
+//
+// Suspension protocol: leaf awaitables (Env::compute etc.) store an Action
+// on the Task and record the innermost coroutine handle as the resume point;
+// control then unwinds to the kernel, which interprets the action and later
+// resumes the resume point. SimCall frames chain continuations so completion
+// of a nested call transfers straight back to its awaiter.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "kern/action.h"
+#include "kern/task.h"
+
+namespace eo::runtime {
+
+/// Top-level coroutine type of a simulated thread.
+class SimThread {
+ public:
+  struct promise_type {
+    kern::Task* task = nullptr;
+
+    SimThread get_return_object() {
+      return SimThread{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Signal thread termination to the kernel; control returns to the
+        // kernel's resume loop, which interprets the Exit action.
+        h.promise().task->pending = kern::ExitAction{};
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+  explicit SimThread(handle_type h) : handle(h) {}
+  handle_type handle;
+};
+
+/// Composable nested coroutine (like cppcoro::task<T>), used for library
+/// primitives. Lazily started; completion symmetric-transfers back to the
+/// awaiter. The frame is destroyed by await_resume.
+template <typename T>
+class [[nodiscard]] SimCall {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    T value{};
+
+    SimCall get_return_object() {
+      return SimCall{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  explicit SimCall(handle_type h) : h_(h) {}
+  SimCall(SimCall&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  SimCall(const SimCall&) = delete;
+  SimCall& operator=(const SimCall&) = delete;
+  ~SimCall() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    h_.promise().continuation = parent;
+    return h_;  // start the child
+  }
+  T await_resume() {
+    T v = std::move(h_.promise().value);
+    h_.destroy();
+    h_ = nullptr;
+    return v;
+  }
+
+ private:
+  handle_type h_;
+};
+
+template <>
+class [[nodiscard]] SimCall<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+
+    SimCall get_return_object() {
+      return SimCall{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  explicit SimCall(handle_type h) : h_(h) {}
+  SimCall(SimCall&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  SimCall(const SimCall&) = delete;
+  SimCall& operator=(const SimCall&) = delete;
+  ~SimCall() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    h_.promise().continuation = parent;
+    return h_;
+  }
+  void await_resume() {
+    h_.destroy();
+    h_ = nullptr;
+  }
+
+ private:
+  handle_type h_;
+};
+
+/// Leaf awaitable: hands one Action to the kernel and resumes with its
+/// 64-bit result.
+class ActionAwaiter {
+ public:
+  ActionAwaiter(kern::Task* t, kern::Action action)
+      : t_(t), action_(std::move(action)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    t_->resume_point = h;
+    t_->pending = std::move(action_);
+  }
+  std::uint64_t await_resume() const noexcept { return t_->action_result; }
+
+ private:
+  kern::Task* t_;
+  kern::Action action_;
+};
+
+}  // namespace eo::runtime

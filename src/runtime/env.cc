@@ -1,0 +1,2 @@
+// Env is header-only; anchor translation unit.
+#include "runtime/env.h"

@@ -1,0 +1,131 @@
+// Env: the simulated thread's view of the machine.
+//
+// Every awaitable a workload can issue is built here. Env is a cheap value
+// (kernel + task pointers) passed by value into coroutines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+#include "hw/cache_model.h"
+#include "hw/instr_stream.h"
+#include "hw/lbr.h"
+#include "kern/action.h"
+#include "kern/kernel.h"
+#include "kern/task.h"
+#include "runtime/coro.h"
+
+namespace eo::runtime {
+
+class Env {
+ public:
+  Env(kern::Kernel* k, kern::Task* t) : k_(k), t_(t) {}
+
+  kern::Kernel& kernel() const { return *k_; }
+  kern::Task& task() const { return *t_; }
+  SimTime now() const { return k_->now(); }
+  int tid() const { return t_->tid; }
+
+  /// Allocates a simulated shared word (lives as long as the kernel).
+  kern::SimWord* word(std::uint64_t init = 0) const {
+    return k_->alloc_word(init);
+  }
+
+  // --- execution ---
+  /// Runs `work` of computation (calibrated-rate nanoseconds).
+  ActionAwaiter compute(SimDuration work,
+                        hw::SegmentKind kind = hw::SegmentKind::kRegular,
+                        hw::BranchSite site = hw::kVariedSites) const {
+    return {t_, kern::ComputeAction{work, kind, site, -1}};
+  }
+
+  /// Runs a tight register-resident loop (the BWD false-positive shape).
+  ActionAwaiter tight_loop(SimDuration work, hw::BranchSite site) const {
+    return {t_, kern::ComputeAction{work, hw::SegmentKind::kTightLoop, site, -1}};
+  }
+
+  // --- atomics ---
+  ActionAwaiter load(kern::SimWord* w) const {
+    return {t_, kern::AtomicAction{w, kern::AtomicOp::kLoad, 0, 0}};
+  }
+  ActionAwaiter store(kern::SimWord* w, std::uint64_t v) const {
+    return {t_, kern::AtomicAction{w, kern::AtomicOp::kStore, v, 0}};
+  }
+  /// Returns 1 on success, 0 on failure.
+  ActionAwaiter cas(kern::SimWord* w, std::uint64_t expected,
+                    std::uint64_t desired) const {
+    return {t_, kern::AtomicAction{w, kern::AtomicOp::kCompareSwap, expected,
+                                   desired}};
+  }
+  /// Returns the previous value.
+  ActionAwaiter exchange(kern::SimWord* w, std::uint64_t v) const {
+    return {t_, kern::AtomicAction{w, kern::AtomicOp::kExchange, v, 0}};
+  }
+  /// Returns the previous value.
+  ActionAwaiter fetch_add(kern::SimWord* w, std::uint64_t v) const {
+    return {t_, kern::AtomicAction{w, kern::AtomicOp::kFetchAdd, v, 0}};
+  }
+
+  // --- busy waiting ---
+  /// Spins until `pred(word value)` holds. `site` identifies the static spin
+  /// loop (for the LBR model); `uses_pause` marks PAUSE/NOP-based bodies
+  /// (visible to PLE in VM mode).
+  ActionAwaiter spin_until(kern::SimWord* w,
+                           std::function<bool(std::uint64_t)> pred,
+                           hw::BranchSite site, bool uses_pause = false) const {
+    return {t_, kern::SpinUntilAction{w, std::move(pred), site, uses_pause,
+                                      -1, false, 0}};
+  }
+
+  /// Bounded spin: gives up after `timeout`; resumes with 1 on success, 0 on
+  /// timeout (the spin-then-park pattern of Mutexee / MCS-TP / SHFLLOCK).
+  ActionAwaiter spin_until_timeout(kern::SimWord* w,
+                                   std::function<bool(std::uint64_t)> pred,
+                                   hw::BranchSite site, SimDuration timeout,
+                                   bool uses_pause = false) const {
+    return {t_, kern::SpinUntilAction{w, std::move(pred), site, uses_pause,
+                                      k_->now() + timeout, false, 0}};
+  }
+  /// Convenience: spin until the word equals `v`.
+  ActionAwaiter spin_until_eq(kern::SimWord* w, std::uint64_t v,
+                              hw::BranchSite site,
+                              bool uses_pause = false) const {
+    return spin_until(
+        w, [v](std::uint64_t x) { return x == v; }, site, uses_pause);
+  }
+
+  // --- blocking ---
+  /// Returns 0 if woken by futex_wake, 1 on EWOULDBLOCK.
+  ActionAwaiter futex_wait(kern::SimWord* w, std::uint64_t expected) const {
+    return {t_, kern::FutexWaitAction{w, expected}};
+  }
+  /// Returns the number of waiters woken.
+  ActionAwaiter futex_wake(kern::SimWord* w, int n) const {
+    return {t_, kern::FutexWakeAction{w, n}};
+  }
+  static constexpr int kWakeAll = 1 << 20;
+
+  /// Returns the posted event payload.
+  ActionAwaiter epoll_wait(int epfd) const {
+    return {t_, kern::EpollWaitAction{epfd}};
+  }
+  ActionAwaiter epoll_post(int epfd, std::uint64_t data) const {
+    return {t_, kern::EpollPostAction{epfd, data}};
+  }
+
+  // --- scheduling ---
+  ActionAwaiter yield() const { return {t_, kern::YieldAction{}}; }
+  ActionAwaiter sleep(SimDuration d) const {
+    return {t_, kern::SleepAction{d}};
+  }
+  ActionAwaiter set_mem_profile(const hw::MemProfile& p) const {
+    return {t_, kern::SetMemProfileAction{p}};
+  }
+
+ private:
+  kern::Kernel* k_;
+  kern::Task* t_;
+};
+
+}  // namespace eo::runtime

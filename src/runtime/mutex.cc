@@ -1,0 +1,32 @@
+#include "runtime/mutex.h"
+
+namespace eo::runtime {
+
+SimCall<void> SimMutex::lock(Env env) {
+  // Fast path: 0 -> 1. (Awaited results are bound to named locals before
+  // branching throughout this codebase: GCC 12 miscompiles `co_await` used
+  // directly in a branch condition.)
+  const std::uint64_t fast = co_await env.cas(state_, 0, 1);
+  if (fast) co_return;
+  // Contended: advertise waiters (state 2) and sleep.
+  for (;;) {
+    const std::uint64_t prev = co_await env.exchange(state_, 2);
+    if (prev == 0) co_return;  // acquired (as contended)
+    co_await env.futex_wait(state_, 2);
+  }
+}
+
+SimCall<void> SimMutex::unlock(Env env) {
+  const std::uint64_t prev = co_await env.exchange(state_, 0);
+  if (prev == 2) {
+    // There may be waiters; wake one.
+    co_await env.futex_wake(state_, 1);
+  }
+  co_return;
+}
+
+SimCall<bool> SimMutex::try_lock(Env env) {
+  co_return static_cast<bool>(co_await env.cas(state_, 0, 1));
+}
+
+}  // namespace eo::runtime

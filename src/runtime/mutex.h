@@ -1,0 +1,35 @@
+// SimMutex: glibc-style futex mutex.
+//
+// Three-state protocol (0 = unlocked, 1 = locked/no waiters, 2 = locked with
+// possible waiters), identical to glibc's low-level lock: the fast path is
+// one CAS in userspace; contention traps into futex_wait, and unlock only
+// issues futex_wake when waiters may exist. This is the mutex behind the
+// paper's pthread_mutex results (Figure 10, and the hash-table lock in
+// memcached).
+#pragma once
+
+#include "kern/action.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+
+namespace eo::runtime {
+
+class SimMutex {
+ public:
+  /// Words are allocated from the kernel; the mutex must not outlive it.
+  explicit SimMutex(kern::Kernel& k) : state_(k.alloc_word(0)) {}
+
+  SimCall<void> lock(Env env);
+  SimCall<void> unlock(Env env);
+
+  /// Non-blocking attempt; returns true on success.
+  SimCall<bool> try_lock(Env env);
+
+  /// Diagnostic: current raw state.
+  std::uint64_t raw_state() const { return state_->peek(); }
+
+ private:
+  kern::SimWord* state_;
+};
+
+}  // namespace eo::runtime

@@ -1,0 +1,26 @@
+#include "runtime/semaphore.h"
+
+namespace eo::runtime {
+
+SimCall<void> SimSemaphore::wait(Env env) {
+  for (;;) {
+    const std::uint64_t v = co_await env.load(value_);
+    if (v > 0) {
+      const std::uint64_t won = co_await env.cas(value_, v, v - 1);
+      if (won) co_return;
+      continue;
+    }
+    co_await env.futex_wait(value_, 0);
+  }
+}
+
+SimCall<void> SimSemaphore::post(Env env) {
+  co_await env.fetch_add(value_, 1);
+  // Wake unconditionally: waking only when the previous value was zero loses
+  // wakeups when two posts race ahead of a parked waiter (the second post
+  // sees prev == 1 and skips the wake, stranding the second waiter).
+  co_await env.futex_wake(value_, 1);
+  co_return;
+}
+
+}  // namespace eo::runtime

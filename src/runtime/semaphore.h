@@ -1,0 +1,24 @@
+// SimSemaphore: futex-based counting semaphore (sem_wait/sem_post).
+#pragma once
+
+#include "kern/action.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+
+namespace eo::runtime {
+
+class SimSemaphore {
+ public:
+  SimSemaphore(kern::Kernel& k, std::uint64_t initial)
+      : value_(k.alloc_word(initial)) {}
+
+  SimCall<void> wait(Env env);
+  SimCall<void> post(Env env);
+
+  std::uint64_t value() const { return value_->peek(); }
+
+ private:
+  kern::SimWord* value_;
+};
+
+}  // namespace eo::runtime

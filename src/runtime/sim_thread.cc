@@ -1,0 +1,29 @@
+#include "runtime/sim_thread.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace eo::runtime {
+
+kern::Task* spawn(kern::Kernel& k, std::string name, ThreadFn fn,
+                  const SpawnOpts& opts) {
+  kern::Task* t = k.create_task(std::move(name));
+  t->mem = opts.mem;
+  if (opts.pin_cpu >= 0) k.pin_task(t, opts.pin_cpu);
+  // Box the callable so lambda captures outlive this call: a capturing
+  // lambda coroutine stores its captures in the closure object, not the
+  // coroutine frame.
+  auto box = std::make_shared<ThreadFn>(std::move(fn));
+  SimThread st = (*box)(Env(&k, t));
+  EO_CHECK(st.handle);
+  st.handle.promise().task = t;
+  t->keepalive = box;
+  k.attach_coroutine(t, st.handle);
+  const int cpu = opts.pin_cpu >= 0 ? opts.pin_cpu : opts.cpu;
+  k.start_task(t, cpu);
+  return t;
+}
+
+}  // namespace eo::runtime

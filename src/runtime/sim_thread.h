@@ -1,0 +1,31 @@
+// Spawning simulated threads.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "hw/cache_model.h"
+#include "kern/kernel.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+
+namespace eo::runtime {
+
+struct SpawnOpts {
+  /// Initial core (-1 = round-robin).
+  int cpu = -1;
+  /// Pin to this core (-1 = unpinned).
+  int pin_cpu = -1;
+  /// Memory behaviour of the thread's compute phases.
+  hw::MemProfile mem{};
+};
+
+using ThreadFn = std::function<SimThread(Env)>;
+
+/// Creates and starts a simulated thread running `fn`. The callable (and its
+/// captures) is kept alive for the task's lifetime, so capturing lambdas are
+/// safe.
+kern::Task* spawn(kern::Kernel& k, std::string name, ThreadFn fn,
+                  const SpawnOpts& opts = {});
+
+}  // namespace eo::runtime

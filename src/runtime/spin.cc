@@ -1,0 +1,38 @@
+#include "runtime/spin.h"
+
+#include <atomic>
+
+namespace eo::runtime {
+
+hw::BranchSite next_spin_site() {
+  // Sites only need to be distinct within a kernel; a global counter keeps
+  // them distinct across concurrently running kernels too.
+  static std::atomic<hw::BranchSite> next{1};
+  return next.fetch_add(1);
+}
+
+SimCall<void> SpinFlag::wait_for(Env env, std::uint64_t v) {
+  co_await env.spin_until_eq(w_, v, site_, pause_);
+  co_return;
+}
+
+SimCall<void> SpinFlag::set(Env env, std::uint64_t v) {
+  co_await env.store(w_, v);
+  co_return;
+}
+
+SimCall<void> SpinBarrier::wait(Env env) {
+  const std::uint64_t my_sense = co_await env.load(sense_);
+  const std::uint64_t arrived = co_await env.fetch_add(count_, 1) + 1;
+  if (arrived == static_cast<std::uint64_t>(parties_)) {
+    co_await env.store(count_, 0);
+    co_await env.store(sense_, my_sense + 1);  // releases the spinners
+    co_return;
+  }
+  co_await env.spin_until(
+      sense_, [my_sense](std::uint64_t s) { return s != my_sense; }, site_,
+      pause_);
+  co_return;
+}
+
+}  // namespace eo::runtime

@@ -1,0 +1,60 @@
+// User-level busy-wait helpers.
+//
+// These model the "user-customized spinning" the paper studies (NPB lu's
+// plain variable-test loop, SPLASH-2 volrend): flags and barriers that spin
+// rather than block, with no special instructions in the loop body unless
+// `uses_pause` is set.
+#pragma once
+
+#include "hw/lbr.h"
+#include "kern/action.h"
+#include "runtime/coro.h"
+#include "runtime/env.h"
+
+namespace eo::runtime {
+
+/// Allocates unique spin-site ids per static spin loop.
+hw::BranchSite next_spin_site();
+
+/// A shared flag that readers spin on.
+class SpinFlag {
+ public:
+  explicit SpinFlag(kern::Kernel& k, bool uses_pause = false)
+      : w_(k.alloc_word(0)), site_(next_spin_site()), pause_(uses_pause) {}
+
+  /// Busy-waits until the flag holds `v`.
+  SimCall<void> wait_for(Env env, std::uint64_t v);
+
+  SimCall<void> set(Env env, std::uint64_t v);
+
+  std::uint64_t peek() const { return w_->peek(); }
+  kern::SimWord* word() const { return w_; }
+  hw::BranchSite site() const { return site_; }
+
+ private:
+  kern::SimWord* w_;
+  hw::BranchSite site_;
+  bool pause_;
+};
+
+/// Sense-reversing centralized spin barrier (lu-style custom sync).
+class SpinBarrier {
+ public:
+  SpinBarrier(kern::Kernel& k, int parties, bool uses_pause = false)
+      : count_(k.alloc_word(0)),
+        sense_(k.alloc_word(0)),
+        parties_(parties),
+        site_(next_spin_site()),
+        pause_(uses_pause) {}
+
+  SimCall<void> wait(Env env);
+
+ private:
+  kern::SimWord* count_;
+  kern::SimWord* sense_;
+  int parties_;
+  hw::BranchSite site_;
+  bool pause_;
+};
+
+}  // namespace eo::runtime

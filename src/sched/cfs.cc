@@ -1,0 +1,2 @@
+// CfsParams is header-only; anchor translation unit.
+#include "sched/cfs.h"

@@ -1,0 +1,76 @@
+// Scheduling entity embedded in every task.
+//
+// Mirrors the kernel's `sched_entity`: the red-black-tree node, the virtual
+// runtime that orders it, and the flags the paper's two mechanisms add —
+// `vb_blocked` (virtual blocking's thread_state) and `bwd_skip` (the skip
+// flag set by busy-waiting detection).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "sched/rbtree.h"
+
+namespace eo::sched {
+
+/// Nice-0 load weight, as in Linux.
+inline constexpr int kNice0Weight = 1024;
+
+/// Virtual-runtime offset applied to VB-blocked entities so they sort after
+/// every normally runnable entity ("inserted to the tail of the RB tree ...
+/// assigned an arbitrarily large virtual runtime"). Large enough that no real
+/// vruntime reaches it in any experiment (1e15 ns ≈ 11.6 simulated days).
+inline constexpr std::int64_t kVbVruntimeBase = 1'000'000'000'000'000;
+
+struct SchedEntity {
+  RbNode rb;
+
+  /// Weighted virtual runtime in nanoseconds; the RB-tree key.
+  std::int64_t vruntime = 0;
+
+  int weight = kNice0Weight;
+
+  /// On a runqueue (either in the tree or running as curr).
+  bool on_rq = false;
+
+  /// --- Virtual blocking (paper Section 3.1) ---
+  /// thread_state flag: 1 = virtually blocked, skipped by the scheduler.
+  bool vb_blocked = false;
+  /// True vruntime saved while the entity is parked at the tree tail.
+  std::int64_t saved_vruntime = 0;
+
+  /// --- Busy-waiting detection (paper Section 3.2) ---
+  /// Skip flag: not scheduled until the other threads on this core have been
+  /// scheduled at least once.
+  bool bwd_skip = false;
+  /// Value of the runqueue's pick sequence when the skip flag was set.
+  std::uint64_t bwd_skip_seq = 0;
+
+  /// Runqueue (core id) this entity is on; -1 if none.
+  int cpu = -1;
+
+  /// Pinned entities are never migrated by the balancer.
+  bool pinned = false;
+
+  /// Wall time when the entity last started executing.
+  SimTime exec_start = 0;
+  /// Total execution time accumulated.
+  SimDuration sum_exec = 0;
+
+  /// Owning task (opaque at this layer; the kernel downcasts).
+  void* task = nullptr;
+
+  /// Delta to add to vruntime for `delta_exec` of wall execution.
+  std::int64_t vruntime_delta(SimDuration delta_exec) const {
+    if (weight == kNice0Weight) return delta_exec;
+    return delta_exec * kNice0Weight / weight;
+  }
+};
+
+struct ByVruntime {
+  bool operator()(const SchedEntity& a, const SchedEntity& b) const {
+    return a.vruntime < b.vruntime;
+  }
+};
+
+}  // namespace eo::sched

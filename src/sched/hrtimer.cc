@@ -1,0 +1,41 @@
+#include "sched/hrtimer.h"
+
+#include "common/logging.h"
+
+namespace eo::sched {
+
+void RepeatingTimer::start(sim::Engine* engine, SimDuration period,
+                           SimDuration offset, std::function<void()> fn) {
+  EO_CHECK(engine != nullptr);
+  EO_CHECK_GT(period, 0);
+  stop();
+  engine_ = engine;
+  period_ = period;
+  fn_ = std::move(fn);
+  armed_ = true;
+  event_ = engine_->schedule_after(offset + period_, [this] {
+    event_ = sim::kInvalidEvent;
+    // Re-arm before the callback so the callback may stop() the timer.
+    arm_next();
+    fn_();
+  });
+}
+
+void RepeatingTimer::arm_next() {
+  if (!armed_) return;
+  event_ = engine_->schedule_after(period_, [this] {
+    event_ = sim::kInvalidEvent;
+    arm_next();
+    fn_();
+  });
+}
+
+void RepeatingTimer::stop() {
+  if (engine_ != nullptr && event_ != sim::kInvalidEvent) {
+    engine_->cancel(event_);
+    event_ = sim::kInvalidEvent;
+  }
+  armed_ = false;
+}
+
+}  // namespace eo::sched

@@ -1,0 +1,43 @@
+// High-resolution repeating timer.
+//
+// Thin wrapper over the event engine that re-arms itself each period, used
+// for the per-core BWD monitoring timer (100 µs) and the periodic load
+// balancer. Mirrors the hrtimer interface the paper's implementation uses.
+#pragma once
+
+#include <functional>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace eo::sched {
+
+class RepeatingTimer {
+ public:
+  RepeatingTimer() = default;
+  ~RepeatingTimer() { stop(); }
+
+  RepeatingTimer(const RepeatingTimer&) = delete;
+  RepeatingTimer& operator=(const RepeatingTimer&) = delete;
+
+  /// Arms the timer: first fire at now + offset + period, then every period.
+  /// The callback runs inside the engine event; re-arming is automatic.
+  void start(sim::Engine* engine, SimDuration period, SimDuration offset,
+             std::function<void()> fn);
+
+  /// Disarms; safe to call when not armed or from within the callback.
+  void stop();
+
+  bool armed() const { return armed_; }
+
+ private:
+  void arm_next();
+
+  sim::Engine* engine_ = nullptr;
+  SimDuration period_ = 0;
+  std::function<void()> fn_;
+  sim::EventId event_ = sim::kInvalidEvent;
+  bool armed_ = false;
+};
+
+}  // namespace eo::sched

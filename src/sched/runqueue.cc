@@ -1,0 +1,193 @@
+#include "sched/runqueue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eo::sched {
+
+void Runqueue::enqueue(SchedEntity* se, bool wakeup) {
+  EO_CHECK(!se->on_rq) << "enqueue of entity already on a runqueue";
+  se->on_rq = true;
+  se->cpu = cpu_;
+  if (se->vb_blocked) {
+    // Park at the tail, FIFO among parked entities.
+    se->vruntime = kVbVruntimeBase + vb_park_seq_++;
+    ++nr_vb_blocked_;
+  } else if (wakeup) {
+    // Sleeper fairness: grant a bounded latency credit, but never let the
+    // entity's vruntime move backwards relative to what it had.
+    se->vruntime =
+        std::max(se->vruntime, min_vruntime_ - params_->sleeper_bonus);
+  } else {
+    // Fresh or migrated entity: never behind this queue's window.
+    se->vruntime = std::max(se->vruntime, min_vruntime_ - params_->sleeper_bonus);
+  }
+  tree_.insert(se);
+  ++nr_running_;
+}
+
+void Runqueue::dequeue(SchedEntity* se) {
+  EO_CHECK(se->on_rq);
+  EO_CHECK(se != curr_) << "dequeue of running entity; put_prev it first";
+  tree_.erase(se);
+  se->on_rq = false;
+  se->cpu = -1;
+  --nr_running_;
+  if (se->vb_blocked) --nr_vb_blocked_;
+  update_min_vruntime();
+}
+
+SchedEntity* Runqueue::pick_next() {
+  EO_CHECK(curr_ == nullptr) << "pick_next with an entity still running";
+  if (tree_.size() == 0) return nullptr;
+  ++pick_seq_;
+
+  SchedEntity* chosen = nullptr;
+  bool saw_skipped = false;
+  for (SchedEntity* e = tree_.leftmost(); e != nullptr; e = tree_.next(e)) {
+    if (e->bwd_skip) {
+      // The skip expires once every other schedulable entity has had a pick
+      // since the flag was set.
+      const auto others =
+          static_cast<std::uint64_t>(std::max(1, nr_schedulable() - 1));
+      if (pick_seq_ - e->bwd_skip_seq > others) {
+        e->bwd_skip = false;
+        chosen = e;
+        break;
+      }
+      saw_skipped = true;
+      continue;
+    }
+    chosen = e;  // VB-blocked entities sort last; reaching one means nothing
+                 // else is schedulable, and the kernel will give it only a
+                 // flag-check quantum.
+    break;
+  }
+  if (chosen == nullptr && saw_skipped) {
+    // Everyone runnable is skip-flagged: the "others ran at least once"
+    // condition is vacuously met; clear flags and take the leftmost.
+    for (SchedEntity* e = tree_.leftmost(); e != nullptr; e = tree_.next(e)) {
+      e->bwd_skip = false;
+    }
+    chosen = tree_.leftmost();
+  }
+  if (chosen == nullptr) return nullptr;
+  tree_.erase(chosen);
+  curr_ = chosen;
+  return chosen;
+}
+
+void Runqueue::put_prev(SchedEntity* se) {
+  EO_CHECK_EQ(se, curr_);
+  curr_ = nullptr;
+  tree_.insert(se);
+}
+
+void Runqueue::account_curr(SimDuration delta_exec) {
+  if (curr_ == nullptr || delta_exec <= 0) return;
+  curr_->vruntime += curr_->vruntime_delta(delta_exec);
+  curr_->sum_exec += delta_exec;
+  update_min_vruntime();
+}
+
+SimDuration Runqueue::slice_for(const SchedEntity* se) const {
+  const int nr = std::max(1, nr_schedulable());
+  SimDuration slice = params_->sched_latency * se->weight /
+                      (static_cast<SimDuration>(nr) * kNice0Weight);
+  return std::max(slice, params_->min_granularity);
+}
+
+bool Runqueue::should_preempt(const SchedEntity* wakee) const {
+  if (curr_ == nullptr) return true;
+  if (curr_->vb_blocked) return true;  // flag-check quanta yield to real work
+  return wakee->vruntime + params_->wakeup_granularity < curr_->vruntime;
+}
+
+void Runqueue::vb_park(SchedEntity* se) {
+  EO_CHECK(se->on_rq);
+  EO_CHECK(se != curr_);
+  EO_CHECK(!se->vb_blocked);
+  tree_.erase(se);
+  se->saved_vruntime = se->vruntime;
+  se->vb_blocked = true;
+  se->vruntime = kVbVruntimeBase + vb_park_seq_++;
+  tree_.insert(se);
+  ++nr_vb_blocked_;
+  update_min_vruntime();
+}
+
+void Runqueue::vb_unpark(SchedEntity* se) {
+  EO_CHECK(se->on_rq);
+  EO_CHECK(se->vb_blocked);
+  EO_CHECK(se != curr_);
+  tree_.erase(se);
+  se->vb_blocked = false;
+  // Wake placement: restore the saved vruntime but grant the same latency
+  // credit a real wakeup would get, so VB wakers are scheduled promptly.
+  se->vruntime =
+      std::max(se->saved_vruntime, min_vruntime_ - params_->sleeper_bonus);
+  tree_.insert(se);
+  --nr_vb_blocked_;
+  update_min_vruntime();
+}
+
+void Runqueue::vb_clear_current(SchedEntity* se) {
+  EO_CHECK_EQ(se, curr_);
+  EO_CHECK(se->vb_blocked);
+  se->vb_blocked = false;
+  se->vruntime =
+      std::max(se->saved_vruntime, min_vruntime_ - params_->sleeper_bonus);
+  --nr_vb_blocked_;
+  update_min_vruntime();
+}
+
+std::vector<SchedEntity*> Runqueue::detach_all() {
+  EO_CHECK(curr_ == nullptr);
+  std::vector<SchedEntity*> out;
+  while (SchedEntity* e = tree_.leftmost()) {
+    tree_.erase(e);
+    e->on_rq = false;
+    e->cpu = -1;
+    --nr_running_;
+    if (e->vb_blocked) --nr_vb_blocked_;
+    out.push_back(e);
+  }
+  EO_CHECK_EQ(nr_running_, 0);
+  EO_CHECK_EQ(nr_vb_blocked_, 0);
+  return out;
+}
+
+void Runqueue::bwd_mark_skip(SchedEntity* se) {
+  EO_CHECK(se->on_rq);
+  EO_CHECK(se != curr_);
+  se->bwd_skip = true;
+  se->bwd_skip_seq = pick_seq_;
+}
+
+SchedEntity* Runqueue::migration_candidate() const {
+  SchedEntity* last_valid = nullptr;
+  for (SchedEntity* e = tree_.leftmost(); e != nullptr; e = tree_.next(e)) {
+    if (e->vb_blocked) continue;  // VB: blocked threads are never migrated
+    if (e->pinned) continue;
+    last_valid = e;
+  }
+  return last_valid;
+}
+
+void Runqueue::update_min_vruntime() {
+  std::int64_t v = min_vruntime_;
+  bool have = false;
+  if (curr_ != nullptr && !curr_->vb_blocked) {
+    v = curr_->vruntime;
+    have = true;
+  }
+  if (SchedEntity* lm = tree_.leftmost();
+      lm != nullptr && lm->vruntime < kVbVruntimeBase) {
+    v = have ? std::min(v, lm->vruntime) : lm->vruntime;
+    have = true;
+  }
+  if (have) min_vruntime_ = std::max(min_vruntime_, v);
+}
+
+}  // namespace eo::sched

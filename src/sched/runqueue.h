@@ -1,0 +1,111 @@
+// Per-core CFS runqueue.
+//
+// Holds runnable entities in a red-black tree keyed by vruntime, with the
+// running entity kept outside the tree (as in Linux). Implements the
+// vruntime bookkeeping, slice computation, and the pick-next policy extended
+// with the paper's two mechanisms:
+//
+//  * VB-blocked entities carry an inflated vruntime so they sit at the tree
+//    tail; pick_next naturally reaches them only when nothing else is
+//    runnable, at which point each gets a brief flag-check quantum.
+//  * BWD-skipped entities are passed over until every other entity on the
+//    queue has been picked at least once since the skip was set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "sched/cfs.h"
+#include "sched/entity.h"
+#include "sched/rbtree.h"
+
+namespace eo::sched {
+
+class Runqueue {
+ public:
+  Runqueue(int cpu, const CfsParams* params) : cpu_(cpu), params_(params) {}
+
+  int cpu() const { return cpu_; }
+
+  /// Runnable entities including the one currently running and any
+  /// VB-blocked parked entities (VB keeps them on the queue — that is the
+  /// point: load stays stable).
+  int nr_running() const { return nr_running_; }
+  /// Entities that are genuinely schedulable (not VB-blocked).
+  int nr_schedulable() const { return nr_running_ - nr_vb_blocked_; }
+  int nr_vb_blocked() const { return nr_vb_blocked_; }
+
+  std::int64_t min_vruntime() const { return min_vruntime_; }
+  SchedEntity* curr() const { return curr_; }
+
+  /// Adds an entity. If `wakeup`, applies sleeper-fairness placement; a
+  /// VB-blocked entity is instead parked at the tail with inflated vruntime.
+  void enqueue(SchedEntity* se, bool wakeup);
+
+  /// Removes an entity (must not be curr; callers put_prev first).
+  void dequeue(SchedEntity* se);
+
+  /// Chooses the next entity to run and removes it from the tree, making it
+  /// curr. Returns nullptr if nothing is runnable. May clear stale BWD skip
+  /// flags. The returned entity may be VB-blocked — the kernel must then run
+  /// it only for the brief flag-check quantum.
+  SchedEntity* pick_next();
+
+  /// Puts the previously running entity back into the tree (still runnable).
+  void put_prev(SchedEntity* se);
+
+  /// Accounts `delta_exec` of execution to curr and advances min_vruntime.
+  void account_curr(SimDuration delta_exec);
+
+  /// Time slice for an entity on this queue.
+  SimDuration slice_for(const SchedEntity* se) const;
+
+  /// Should `wakee` preempt the currently running entity?
+  bool should_preempt(const SchedEntity* wakee) const;
+
+  /// --- Virtual blocking hooks ---
+  /// Parks curr-or-queued `se` as VB-blocked: saves its vruntime, inflates
+  /// it, repositions it at the tail. `se` must be on this queue and not curr.
+  void vb_park(SchedEntity* se);
+  /// Clears VB state and restores the entity near the queue head so it is
+  /// scheduled promptly, as the paper's modified scheduler does for threads
+  /// waking from virtual blocking.
+  void vb_unpark(SchedEntity* se);
+
+  /// Clears VB state of the *currently running* entity (woken mid
+  /// flag-check-quantum); no tree manipulation needed.
+  void vb_clear_current(SchedEntity* se);
+
+  /// Removes every entity from the queue (core offlining) and returns them.
+  /// curr must already have been put back and dequeued by the caller.
+  std::vector<SchedEntity*> detach_all();
+
+  /// --- Busy-waiting detection hooks ---
+  /// Marks `se` (on this queue, not curr) as skipped.
+  void bwd_mark_skip(SchedEntity* se);
+
+  /// Picks a migration victim: a queued, non-VB-blocked, non-skipped entity
+  /// preferring the tree tail (least likely to run soon). Returns nullptr if
+  /// none. Does not remove it.
+  SchedEntity* migration_candidate() const;
+
+  /// Test/diagnostic helper: validates the underlying tree.
+  bool tree_valid() const { return tree_.validate() >= 0; }
+
+ private:
+  void update_min_vruntime();
+
+  int cpu_;
+  const CfsParams* params_;
+  RbTree<SchedEntity, &SchedEntity::rb, ByVruntime> tree_;
+  SchedEntity* curr_ = nullptr;
+  std::int64_t min_vruntime_ = 0;
+  int nr_running_ = 0;
+  int nr_vb_blocked_ = 0;
+  std::uint64_t pick_seq_ = 0;
+  /// Monotonic counter ordering VB-parked entities FIFO at the tail.
+  std::int64_t vb_park_seq_ = 0;
+};
+
+}  // namespace eo::sched

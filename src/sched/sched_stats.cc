@@ -1,0 +1,22 @@
+#include "sched/sched_stats.h"
+
+#include <sstream>
+
+namespace eo::sched {
+
+std::string SchedStats::summary() const {
+  std::ostringstream os;
+  os << "switches=" << context_switches << " (vol=" << voluntary_switches
+     << " invol=" << involuntary_switches << ") wakeups=" << wakeups
+     << " migr(in=" << migrations_in_node << " cross=" << migrations_cross_node
+     << " wake=" << wakeup_migrations << ")"
+     << " vb(park=" << vb_parks << " unpark=" << vb_unparks
+     << " check=" << vb_check_quanta << ")"
+     << " futex(sleep=" << futex_sleeps << " wake=" << futex_wakes << ")"
+     << " bwd(fires=" << bwd_timer_fires << " detect=" << bwd_detections
+     << " desched=" << bwd_descheduled << ")"
+     << " ple_exits=" << ple_exits;
+  return os.str();
+}
+
+}  // namespace eo::sched

@@ -1,0 +1,54 @@
+// Kernel-wide scheduling statistics.
+//
+// These counters back Table 1 (CPU utilization, in-node and cross-node
+// migrations) and the BWD accuracy tables, plus diagnostics used throughout
+// the tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace eo::sched {
+
+struct SchedStats {
+  // Context switching.
+  std::uint64_t context_switches = 0;
+  std::uint64_t voluntary_switches = 0;
+  std::uint64_t involuntary_switches = 0;
+
+  // Wakeups.
+  std::uint64_t wakeups = 0;
+  std::uint64_t wakeup_migrations = 0;  ///< wakee placed on a different core
+
+  // Load-balancer migrations, split by socket relationship (Table 1).
+  std::uint64_t migrations_in_node = 0;
+  std::uint64_t migrations_cross_node = 0;
+
+  // Virtual blocking.
+  std::uint64_t vb_parks = 0;
+  std::uint64_t vb_unparks = 0;
+  std::uint64_t vb_check_quanta = 0;
+  std::uint64_t vb_fallback_vanilla = 0;  ///< waits below the VB threshold
+
+  // Vanilla sleep/wakeup.
+  std::uint64_t futex_sleeps = 0;
+  std::uint64_t futex_wakes = 0;
+
+  // Busy-waiting detection.
+  std::uint64_t bwd_timer_fires = 0;
+  std::uint64_t bwd_detections = 0;
+  std::uint64_t bwd_descheduled = 0;
+
+  // Pause-loop exiting (VM mode).
+  std::uint64_t ple_exits = 0;
+
+  std::uint64_t total_migrations() const {
+    return migrations_in_node + migrations_cross_node;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace eo::sched

@@ -1,0 +1,81 @@
+#include "sim/engine.h"
+
+#include "common/logging.h"
+
+namespace eo::sim {
+
+EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  EO_CHECK_GE(when, now_) << "event scheduled in the past";
+  const EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  pending_.insert(id);
+  ++live_events_;
+  return id;
+}
+
+EventId Engine::schedule_after(SimDuration delay, std::function<void()> fn) {
+  EO_CHECK_GE(delay, 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  // Only a still-pending event can be canceled; canceling a fired event is a
+  // harmless no-op.
+  if (pending_.erase(id) > 0) --live_events_;
+}
+
+bool Engine::pop_next(Event& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the function object must be moved out, so
+    // we const_cast on the way to pop. This is the standard idiom; the heap
+    // invariant is unaffected because the element is removed immediately.
+    Event& top = const_cast<Event&>(heap_.top());
+    if (pending_.find(top.id) == pending_.end()) {
+      heap_.pop();  // canceled; skip
+      continue;
+    }
+    out = std::move(top);
+    heap_.pop();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  Event ev;
+  for (;;) {
+    // Skip canceled entries so the deadline peek sees a live event.
+    while (!heap_.empty() &&
+           pending_.find(heap_.top().id) == pending_.end()) {
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().when > deadline) break;
+    if (!pop_next(ev)) break;
+    pending_.erase(ev.id);
+    --live_events_;
+    now_ = ev.when;
+    ++fired_;
+    ++n;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  Event ev;
+  while (pop_next(ev)) {
+    pending_.erase(ev.id);
+    --live_events_;
+    now_ = ev.when;
+    ++fired_;
+    ++n;
+    ev.fn();
+  }
+  return n;
+}
+
+}  // namespace eo::sim

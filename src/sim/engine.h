@@ -1,0 +1,88 @@
+// Discrete-event simulation engine.
+//
+// The engine owns the simulated clock and a min-heap of pending events. All
+// kernel activity (scheduler ticks, timer interrupts, compute completions,
+// wakeups) is expressed as events. The engine is strictly single-threaded:
+// one engine per simulated machine, and benches parallelize across engines,
+// never within one.
+//
+// Determinism: events at equal timestamps fire in insertion order (a
+// monotonically increasing sequence number breaks ties), so a run is a pure
+// function of the configuration and RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eo::sim {
+
+/// Identifies a scheduled event so it can be canceled.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Single-threaded discrete-event executor.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now). Returns an id
+  /// usable with `cancel`.
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  EventId schedule_after(SimDuration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Canceling an already-fired or invalid id is a
+  /// no-op (lazy deletion: the heap entry is skipped when popped).
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or `deadline` is passed. The clock
+  /// is left at the time of the last fired event (or `deadline` if it is
+  /// reached). Returns the number of events fired.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until the event queue drains completely.
+  std::uint64_t run();
+
+  /// True if any event (not canceled) is pending.
+  bool has_pending() const { return live_events_ > 0; }
+
+  /// Number of events fired since construction.
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // earlier insertion fires first
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::uint64_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Ids scheduled but not yet fired or canceled. Cancellation is lazy: the
+  // heap entry stays and is skipped when popped.
+  std::unordered_set<EventId> pending_;
+};
+
+}  // namespace eo::sim

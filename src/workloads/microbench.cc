@@ -1,0 +1,246 @@
+#include "workloads/microbench.h"
+
+#include "common/logging.h"
+#include "runtime/barrier.h"
+#include "runtime/condvar.h"
+#include "runtime/mutex.h"
+#include "runtime/sim_thread.h"
+#include "runtime/spin.h"
+
+namespace eo::workloads {
+
+using runtime::Env;
+using runtime::SimThread;
+
+void spawn_compute_yield(kern::Kernel& k, int n_threads,
+                         SimDuration total_work, SimDuration yield_every) {
+  EO_CHECK_GT(n_threads, 0);
+  const SimDuration per_thread = total_work / n_threads;
+  for (int i = 0; i < n_threads; ++i) {
+    runtime::spawn(k, "yield-" + std::to_string(i),
+                   [per_thread, yield_every](Env env) -> SimThread {
+                     SimDuration left = per_thread;
+                     while (left > 0) {
+                       const SimDuration c = std::min(left, yield_every);
+                       co_await env.compute(c);
+                       left -= c;
+                       co_await env.yield();
+                     }
+                     co_return;
+                   });
+  }
+}
+
+void spawn_compute_atomic(kern::Kernel& k, int n_threads,
+                          SimDuration total_work, SimDuration chunk) {
+  EO_CHECK_GT(n_threads, 0);
+  kern::SimWord* shared = k.alloc_word(0);
+  const SimDuration per_thread = total_work / n_threads;
+  for (int i = 0; i < n_threads; ++i) {
+    runtime::spawn(k, "atomic-" + std::to_string(i),
+                   [per_thread, chunk, shared](Env env) -> SimThread {
+                     SimDuration left = per_thread;
+                     while (left > 0) {
+                       const SimDuration c = std::min(left, chunk);
+                       co_await env.compute(c);
+                       // __sync_fetch_and_add on the shared counter.
+                       co_await env.fetch_add(shared, 1);
+                       left -= c;
+                     }
+                     co_return;
+                   });
+  }
+}
+
+SimDuration array_pass_duration(const hw::CacheModel& cm,
+                                hw::AccessPattern pattern,
+                                std::uint64_t total_bytes) {
+  const double elements = static_cast<double>(total_bytes) / 8.0;
+  return static_cast<SimDuration>(elements *
+                                  cm.steady_access_ns(pattern, total_bytes));
+}
+
+void spawn_array_traversal(kern::Kernel& k, int n_threads,
+                           hw::AccessPattern pattern,
+                           std::uint64_t total_bytes, int passes) {
+  EO_CHECK_GT(n_threads, 0);
+  // Work per thread per pass, expressed at the single-thread calibration
+  // rate; the kernel rescales via the per-thread footprint.
+  hw::CacheModel cm(hw::CacheParams{}, hw::TlbParams{});
+  const SimDuration pass_work =
+      array_pass_duration(cm, pattern, total_bytes) / n_threads;
+  const std::uint64_t per_thread_bytes =
+      total_bytes / static_cast<std::uint64_t>(n_threads);
+  for (int i = 0; i < n_threads; ++i) {
+    runtime::spawn(
+        k, "array-" + std::to_string(i),
+        [pattern, per_thread_bytes, pass_work, passes](Env env) -> SimThread {
+          hw::MemProfile prof;
+          prof.working_set = per_thread_bytes;
+          prof.pattern = pattern;
+          prof.mem_intensity = 1.0;  // pure memory traversal
+          co_await env.set_mem_profile(prof);
+          for (int p = 0; p < passes; ++p) {
+            co_await env.compute(pass_work);
+            co_await env.yield();  // the paper's benchmark yields per pass
+          }
+          co_return;
+        });
+  }
+}
+
+const char* to_string(SyncPrimitive p) {
+  switch (p) {
+    case SyncPrimitive::kMutex:
+      return "pthread_mutex";
+    case SyncPrimitive::kCond:
+      return "pthread_cond";
+    case SyncPrimitive::kBarrier:
+      return "pthread_barrier";
+  }
+  return "?";
+}
+
+namespace {
+
+struct SyncState {
+  std::unique_ptr<runtime::SimMutex> mutex;
+  std::unique_ptr<runtime::SimCond> cond;
+  std::unique_ptr<runtime::SimBarrier> barrier;
+  kern::SimWord* done = nullptr;  // workers-finished counter (cond rounds)
+  long long round = 0;
+  int n_threads = 0;
+};
+
+SimThread sync_worker(Env env, std::shared_ptr<SyncState> st,
+                      SyncPrimitive prim, int idx, int iterations) {
+  constexpr SimDuration kWork = 2_us;
+  constexpr SimDuration kCs = 500;
+  switch (prim) {
+    case SyncPrimitive::kMutex: {
+      for (int i = 0; i < iterations; ++i) {
+        co_await env.compute(kWork);
+        co_await st->mutex->lock(env);
+        co_await env.compute(kCs);
+        co_await st->mutex->unlock(env);
+      }
+      break;
+    }
+    case SyncPrimitive::kBarrier: {
+      for (int i = 0; i < iterations; ++i) {
+        co_await env.compute(kWork);
+        co_await st->barrier->wait(env);
+      }
+      break;
+    }
+    case SyncPrimitive::kCond: {
+      // Round-trip: the master broadcasts a round, then blocks until every
+      // worker has processed it, so each iteration exercises a full group
+      // sleep + group wakeup (the case VB accelerates most).
+      const auto workers = static_cast<std::uint64_t>(st->n_threads - 1);
+      if (idx == 0) {
+        for (int i = 0; i < iterations; ++i) {
+          co_await env.compute(kWork);
+          co_await st->mutex->lock(env);
+          ++st->round;
+          co_await st->cond->broadcast(env);
+          co_await st->mutex->unlock(env);
+          if (workers == 0) continue;
+          for (;;) {
+            const std::uint64_t v = co_await env.load(st->done);
+            if (v >= workers * static_cast<std::uint64_t>(i + 1)) break;
+            co_await env.futex_wait(st->done, v);
+          }
+        }
+      } else {
+        for (int i = 0; i < iterations; ++i) {
+          co_await st->mutex->lock(env);
+          while (st->round <= i) co_await st->cond->wait(env, *st->mutex);
+          co_await st->mutex->unlock(env);
+          co_await env.compute(kWork);
+          const std::uint64_t v = co_await env.fetch_add(st->done, 1) + 1;
+          if (v >= workers * static_cast<std::uint64_t>(i + 1)) {
+            co_await env.futex_wake(st->done, 1);
+          }
+        }
+      }
+      break;
+    }
+  }
+  co_return;
+}
+
+}  // namespace
+
+void spawn_sync_micro(kern::Kernel& k, int n_threads, SyncPrimitive prim,
+                      int iterations) {
+  auto st = std::make_shared<SyncState>();
+  st->mutex = std::make_unique<runtime::SimMutex>(k);
+  st->cond = std::make_unique<runtime::SimCond>(k);
+  st->barrier = std::make_unique<runtime::SimBarrier>(k, n_threads);
+  st->done = k.alloc_word(0);
+  st->n_threads = n_threads;
+  for (int i = 0; i < n_threads; ++i) {
+    runtime::spawn(k, std::string(to_string(prim)) + "-" + std::to_string(i),
+                   [st, prim, i, iterations](Env env) {
+                     return sync_worker(env, st, prim, i, iterations);
+                   });
+  }
+}
+
+namespace {
+
+SimThread tp_holder(Env env, std::shared_ptr<locks::SpinLock> lock,
+                    SimDuration hold_total) {
+  co_await lock->lock(env, 0);
+  co_await env.compute(hold_total);
+  co_await lock->unlock(env, 0);
+  co_return;
+}
+
+SimThread tp_contender(Env env, std::shared_ptr<locks::SpinLock> lock,
+                       SimDuration until) {
+  while (env.now() < until) {
+    co_await lock->lock(env, 1);
+    co_await lock->unlock(env, 1);
+    co_await env.compute(1_us);
+  }
+  co_return;
+}
+
+}  // namespace
+
+void spawn_tp_pair(kern::Kernel& k, std::shared_ptr<locks::SpinLock> lock,
+                   SimDuration hold_total) {
+  runtime::SpawnOpts pin0;
+  pin0.pin_cpu = 0;
+  runtime::spawn(
+      k, "tp-holder",
+      [lock, hold_total](Env env) { return tp_holder(env, lock, hold_total); },
+      pin0);
+  const SimDuration until = hold_total;
+  runtime::spawn(
+      k, "tp-contender",
+      [lock, until](Env env) { return tp_contender(env, lock, until); }, pin0);
+}
+
+void spawn_lock_contention(kern::Kernel& k,
+                           std::shared_ptr<locks::SpinLock> lock,
+                           int n_threads, int iterations, SimDuration cs_work,
+                           SimDuration local_work) {
+  for (int i = 0; i < n_threads; ++i) {
+    runtime::spawn(k, "lock-" + std::to_string(i),
+                   [lock, i, iterations, cs_work, local_work](Env env)
+                       -> SimThread {
+                     for (int it = 0; it < iterations; ++it) {
+                       co_await lock->lock(env, i);
+                       co_await env.compute(cs_work);
+                       co_await lock->unlock(env, i);
+                       co_await env.compute(local_work);
+                     }
+                     co_return;
+                   });
+  }
+}
+
+}  // namespace eo::workloads

@@ -1,0 +1,66 @@
+// Microbenchmarks from the paper's Sections 2.3, 4.2 and 4.3:
+//
+//  * compute+yield      — Figure 2(a): direct context-switch cost.
+//  * compute+atomic     — Figure 2(b): shared-counter contention.
+//  * array traversal    — Figure 4: indirect cost of context switches for
+//                         the four access patterns.
+//  * sync primitives    — Figure 10: mutex / condvar / barrier loops.
+//  * spin TP pair       — Table 2: holder + contender on one core.
+//  * lock contention    — Figure 13: N threads hammering one spinlock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.h"
+#include "hw/cache_model.h"
+#include "kern/kernel.h"
+#include "locks/spinlocks.h"
+
+namespace eo::workloads {
+
+/// Figure 2(a): `n_threads` split `total_work` evenly; each yields every
+/// `yield_every` of execution (the paper uses the 750 µs minimum slice).
+void spawn_compute_yield(kern::Kernel& k, int n_threads, SimDuration total_work,
+                         SimDuration yield_every);
+
+/// Figure 2(b): as above, plus one shared atomic fetch-add per `chunk`.
+void spawn_compute_atomic(kern::Kernel& k, int n_threads,
+                          SimDuration total_work, SimDuration chunk);
+
+/// Figure 4: `n_threads` traverse disjoint halves of an array of
+/// `total_bytes` in `pattern`, yielding after each pass; `passes` total
+/// array sweeps. The kernel's ref_footprint must be set to `total_bytes`
+/// (the single-thread calibration rate).
+void spawn_array_traversal(kern::Kernel& k, int n_threads,
+                           hw::AccessPattern pattern, std::uint64_t total_bytes,
+                           int passes);
+
+/// Duration of one full single-thread array pass at the calibration rate
+/// (elements * steady_access_ns(pattern, total_bytes)); used to size runs.
+SimDuration array_pass_duration(const hw::CacheModel& cm,
+                                hw::AccessPattern pattern,
+                                std::uint64_t total_bytes);
+
+enum class SyncPrimitive { kMutex, kCond, kBarrier };
+const char* to_string(SyncPrimitive p);
+
+/// Figure 10: threads repeatedly synchronize `iterations` times with a small
+/// compute between rounds.
+void spawn_sync_micro(kern::Kernel& k, int n_threads, SyncPrimitive prim,
+                      int iterations);
+
+/// Table 2: thread #1 holds `lock` for `hold_total`; thread #2 repeatedly
+/// tries to acquire it (and releases immediately on success). Pin both to
+/// core 0 to match the paper's single-core setup.
+void spawn_tp_pair(kern::Kernel& k, std::shared_ptr<locks::SpinLock> lock,
+                   SimDuration hold_total);
+
+/// Figure 13: `n_threads` each perform `iterations` lock/unlock pairs with
+/// `cs_work` inside and `local_work` outside the critical section.
+void spawn_lock_contention(kern::Kernel& k,
+                           std::shared_ptr<locks::SpinLock> lock,
+                           int n_threads, int iterations, SimDuration cs_work,
+                           SimDuration local_work);
+
+}  // namespace eo::workloads

@@ -1,0 +1,24 @@
+#include "workloads/mutilate.h"
+
+namespace eo::workloads {
+
+MutilateClient::MutilateClient(MemcachedSim& server, const MutilateConfig& cfg)
+    : server_(server), cfg_(cfg), rng_(cfg.seed) {}
+
+void MutilateClient::start() { schedule_next(); }
+
+void MutilateClient::schedule_next() {
+  auto& engine = server_.kernel().engine();
+  const double mean_gap_ns = 1e9 / cfg_.rate_ops_per_sec;
+  auto gap = static_cast<SimDuration>(rng_.exponential(mean_gap_ns));
+  if (gap < 1) gap = 1;
+  engine.schedule_after(gap, [this] {
+    if (server_.kernel().now() >= cfg_.until) return;  // stop the process
+    const bool is_get = rng_.chance(server_.config().get_fraction);
+    server_.post_request(is_get);
+    ++injected_;
+    schedule_next();
+  });
+}
+
+}  // namespace eo::workloads

@@ -1,0 +1,39 @@
+// Mutilate-style open-loop load generator for the memcached model.
+//
+// Arrivals are a Poisson process at `rate_ops_per_sec`, injected as external
+// epoll events (the network interrupt path); GET/SET is drawn per request.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workloads/memcached.h"
+
+namespace eo::workloads {
+
+struct MutilateConfig {
+  double rate_ops_per_sec = 100000.0;
+  SimTime until = 2_s;  ///< stop injecting at this simulated time
+  std::uint64_t seed = 42;
+};
+
+class MutilateClient {
+ public:
+  MutilateClient(MemcachedSim& server, const MutilateConfig& cfg);
+
+  /// Schedules the arrival process on the server's kernel engine.
+  void start();
+
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  void schedule_next();
+
+  MemcachedSim& server_;
+  MutilateConfig cfg_;
+  Rng rng_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace eo::workloads

@@ -1,0 +1,69 @@
+#include "workloads/pipeline.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/sim_thread.h"
+#include "runtime/spin.h"
+
+namespace eo::workloads {
+
+using runtime::Env;
+using runtime::SimThread;
+
+namespace {
+
+struct PipeState {
+  std::vector<kern::SimWord*> progress;  // items completed per stage
+  std::vector<hw::BranchSite> sites;
+};
+
+SimThread stage_worker(Env env, std::shared_ptr<PipeState> st,
+                       PipelineConfig cfg, int stage) {
+  kern::SimWord* mine = st->progress[static_cast<size_t>(stage)];
+  kern::SimWord* prev =
+      stage > 0 ? st->progress[static_cast<size_t>(stage - 1)] : nullptr;
+  kern::SimWord* succ = stage + 1 < cfg.n_stages
+                            ? st->progress[static_cast<size_t>(stage + 1)]
+                            : nullptr;
+  const hw::BranchSite site = st->sites[static_cast<size_t>(stage)];
+  for (int item = 0; item < cfg.items; ++item) {
+    if (prev != nullptr) {
+      // Wait for the input item.
+      const auto need = static_cast<std::uint64_t>(item) + 1;
+      co_await env.spin_until(
+          prev, [need](std::uint64_t v) { return v >= need; }, site,
+          cfg.uses_pause);
+    }
+    if (succ != nullptr && item >= cfg.buffer) {
+      // Backpressure: do not run more than `buffer` items ahead of the
+      // consumer (bounded inter-stage queue).
+      const auto floor = static_cast<std::uint64_t>(item - cfg.buffer) + 1;
+      co_await env.spin_until(
+          succ, [floor](std::uint64_t v) { return v >= floor; }, site,
+          cfg.uses_pause);
+    }
+    co_await env.compute(cfg.stage_work);
+    co_await env.store(mine, static_cast<std::uint64_t>(item) + 1);
+  }
+  co_return;
+}
+
+}  // namespace
+
+void spawn_spin_pipeline(kern::Kernel& k, const PipelineConfig& cfg) {
+  EO_CHECK_GT(cfg.n_stages, 0);
+  auto st = std::make_shared<PipeState>();
+  for (int i = 0; i < cfg.n_stages; ++i) {
+    st->progress.push_back(k.alloc_word(0));
+    st->sites.push_back(runtime::next_spin_site());
+  }
+  for (int i = 0; i < cfg.n_stages; ++i) {
+    runtime::spawn(k, "stage-" + std::to_string(i), [st, cfg, i](Env env) {
+      return stage_worker(env, st, cfg, i);
+    });
+  }
+}
+
+}  // namespace eo::workloads

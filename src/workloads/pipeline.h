@@ -1,0 +1,25 @@
+// Multi-stage spin pipeline (the BWD stress microbenchmark of Section 4.3):
+// each stage is a thread that busy-waits on the completion of the previous
+// stage before starting its own work, so one delayed stage cascades into
+// downstream spinning.
+#pragma once
+
+#include "common/units.h"
+#include "kern/kernel.h"
+
+namespace eo::workloads {
+
+struct PipelineConfig {
+  int n_stages = 8;
+  int items = 200;             ///< work items flowing through the pipeline
+  SimDuration stage_work = 100_us;
+  bool uses_pause = false;     ///< spin bodies contain PAUSE
+  /// Bounded inter-stage buffering: a stage may run at most this many items
+  /// ahead of its successor before busy-waiting (backpressure). Bounded
+  /// queues are what make one delayed stage cascade into upstream spinning.
+  int buffer = 2;
+};
+
+void spawn_spin_pipeline(kern::Kernel& k, const PipelineConfig& cfg);
+
+}  // namespace eo::workloads

@@ -1,0 +1,446 @@
+#include "workloads/suite.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "runtime/barrier.h"
+#include "runtime/condvar.h"
+#include "runtime/mutex.h"
+#include "runtime/sim_thread.h"
+#include "runtime/spin.h"
+
+namespace eo::workloads {
+
+using runtime::Env;
+using runtime::SimThread;
+
+const char* to_string(SyncKind k) {
+  switch (k) {
+    case SyncKind::kNone:
+      return "none";
+    case SyncKind::kMutex:
+      return "mutex";
+    case SyncKind::kBarrier:
+      return "barrier";
+    case SyncKind::kCondBroadcast:
+      return "cond";
+    case SyncKind::kBlockingWavefront:
+      return "blocking-pipeline";
+    case SyncKind::kSpinBarrier:
+      return "spin-barrier";
+    case SyncKind::kSpinWavefront:
+      return "spin-pipeline";
+  }
+  return "?";
+}
+
+namespace {
+
+using hw::AccessPattern;
+
+BenchmarkSpec spec(std::string name, std::string origin, SyncKind sync,
+                   SimDuration interval, int rounds, double cv,
+                   std::uint64_t ws, AccessPattern pat, double mi) {
+  BenchmarkSpec s;
+  s.name = std::move(name);
+  s.origin = std::move(origin);
+  s.sync = sync;
+  s.interval = interval;
+  s.rounds = rounds;
+  s.jitter_cv = cv;
+  s.working_set = ws;
+  s.pattern = pat;
+  s.mem_intensity = mi;
+  return s;
+}
+
+std::vector<BenchmarkSpec> build_suite() {
+  std::vector<BenchmarkSpec> v;
+  const auto SEQ = AccessPattern::kSequentialRead;
+  const auto SRMW = AccessPattern::kSequentialRMW;
+  const auto RND = AccessPattern::kRandomRead;
+  const auto RRMW = AccessPattern::kRandomRMW;
+
+  // ---- Group 1: unaffected by oversubscription (long sync intervals, light
+  // memory pressure).
+  v.push_back(spec("blackscholes", "parsec", SyncKind::kBarrier, 2_ms, 100,
+                   0.05, 4_MiB, SEQ, 0.10));
+  v.push_back(spec("canneal", "parsec", SyncKind::kMutex, 900_us, 250, 0.10,
+                   4_MiB, RND, 0.15));
+  v.push_back(spec("ferret", "parsec", SyncKind::kBlockingWavefront, 1200_us,
+                   200, 0.10, 8_MiB, SEQ, 0.15));
+  v.push_back(spec("swaptions", "parsec", SyncKind::kNone, 5_ms, 60, 0.05,
+                   2_MiB, SEQ, 0.05));
+  v.push_back(spec("vips", "parsec", SyncKind::kBarrier, 1500_us, 150, 0.10,
+                   8_MiB, SEQ, 0.15));
+  v.push_back(spec("barnes", "splash2", SyncKind::kBarrier, 1_ms, 200, 0.15,
+                   16_MiB, SEQ, 0.20));
+  v.push_back(spec("fft", "splash2", SyncKind::kBarrier, 1800_us, 80, 0.10,
+                   32_MiB, SEQ, 0.15));
+  v.push_back(spec("fmm", "splash2", SyncKind::kBarrier, 1200_us, 150, 0.20,
+                   16_MiB, SEQ, 0.15));
+  {
+    auto s = spec("radiosity", "splash2", SyncKind::kMutex, 800_us, 250, 0.15,
+                  8_MiB, RND, 0.15);
+    s.cs_work = 1500;
+    s.excluded_from_fig9 = true;  // short, unstable execution time
+    v.push_back(s);
+  }
+  v.push_back(spec("raytrace", "splash2", SyncKind::kMutex, 1_ms, 200, 0.15,
+                   16_MiB, RND, 0.15));
+
+  // ---- Group 2: benefit from oversubscription (TLB-constructive random
+  // working sets and/or high per-round imbalance that time-sharing smooths).
+  {
+    auto s = spec("ep", "npb", SyncKind::kNone, 3_ms, 100, 0.05, 96_MiB, RRMW,
+                  0.45);
+    s.tight_loops_per_sec = 8.0;  // Table 3: 99.92% specificity
+    v.push_back(s);
+  }
+  v.push_back(spec("bodytrack", "parsec", SyncKind::kBarrier, 600_us, 300,
+                   0.50, 64_MiB, RND, 0.30));
+  v.push_back(spec("facesim", "parsec", SyncKind::kBarrier, 160_us, 600, 0.50,
+                   48_MiB, RND, 0.25));
+  v.push_back(spec("x264", "parsec", SyncKind::kBlockingWavefront, 700_us,
+                   250, 0.40, 64_MiB, RND, 0.30));
+  v.push_back(spec("water", "splash2", SyncKind::kBarrier, 900_us, 200, 0.35,
+                   80_MiB, RRMW, 0.30));
+
+  // ---- Group 3: suffer under oversubscription.
+  {
+    // dedup: fine-grained blocking pipeline (Figure 1's 2.78x bar).
+    auto s = spec("dedup", "parsec", SyncKind::kBlockingWavefront, 15_us,
+                  2500, 0.10, 16_MiB, SEQ, 0.15);
+    s.excluded_from_fig9 = true;  // cannot scale past 8 threads
+    v.push_back(s);
+  }
+  {
+    // fluidanimate: per-cell mutexes whose count scales with threads.
+    auto s = spec("fluidanimate", "parsec", SyncKind::kMutex, 70_us, 1200,
+                  0.15, 32_MiB, SEQ, 0.20);
+    s.cs_work = 800;
+    s.locks_per_round = 1;
+    s.locks_scale_with_threads = true;
+    v.push_back(s);
+  }
+  v.push_back(spec("freqmine", "parsec", SyncKind::kBarrier, 400_us, 300, 0.02,
+                   40_MiB, RND, 0.10));
+  v.push_back(spec("streamcluster", "parsec", SyncKind::kCondBroadcast, 120_us,
+                   800, 0.20, 16_MiB, SEQ, 0.20));
+  {
+    // cholesky: custom spin synchronization (Figure 1's 9.95x bar).
+    auto s = spec("cholesky", "splash2", SyncKind::kSpinBarrier, 80_us, 500,
+                  0.25, 16_MiB, RND, 0.20);
+    s.excluded_from_fig9 = true;  // short, unstable execution time
+    v.push_back(s);
+  }
+  v.push_back(spec("lu_cb", "splash2", SyncKind::kBarrier, 350_us, 300, 0.02,
+                   32_MiB, SEQ, 0.20));
+  v.push_back(spec("ocean", "splash2", SyncKind::kBarrier, 250_us, 400, 0.02,
+                   64_MiB, RND, 0.10));
+  v.push_back(spec("radix", "splash2", SyncKind::kBarrier, 500_us, 250, 0.02,
+                   48_MiB, RRMW, 0.08));
+  {
+    auto s = spec("volrend", "splash2", SyncKind::kSpinBarrier, 200_us, 400,
+                  0.30, 16_MiB, RND, 0.20);
+    v.push_back(s);
+  }
+  {
+    auto s = spec("is", "npb", SyncKind::kBarrier, 600_us, 200, 0.02, 64_MiB,
+                  RRMW, 0.08);
+    s.tight_loops_per_sec = 62.0;  // Table 3: is has the highest FP rate
+    v.push_back(s);
+  }
+  {
+    auto s = spec("cg", "npb", SyncKind::kBarrier, 180_us, 600, 0.02, 48_MiB,
+                  RND, 0.12);
+    s.tight_loops_per_sec = 56.0;
+    v.push_back(s);
+  }
+  {
+    auto s = spec("mg", "npb", SyncKind::kBarrier, 300_us, 400, 0.02, 56_MiB,
+                  RND, 0.10);
+    s.tight_loops_per_sec = 27.0;
+    v.push_back(s);
+  }
+  {
+    auto s = spec("ft", "npb", SyncKind::kBarrier, 800_us, 200, 0.02, 64_MiB,
+                  RND, 0.08);
+    s.tight_loops_per_sec = 1.0;
+    v.push_back(s);
+  }
+  {
+    auto s = spec("sp", "npb", SyncKind::kBarrier, 220_us, 500, 0.02, 48_MiB,
+                  SRMW, 0.20);
+    s.tight_loops_per_sec = 1.0;
+    v.push_back(s);
+  }
+  {
+    auto s = spec("bt", "npb", SyncKind::kBarrier, 280_us, 450, 0.02, 48_MiB,
+                  SEQ, 0.20);
+    s.tight_loops_per_sec = 9.0;
+    v.push_back(s);
+  }
+  {
+    auto s = spec("ua", "npb", SyncKind::kCondBroadcast, 100_us, 900, 0.30,
+                  32_MiB, RND, 0.08);
+    s.tight_loops_per_sec = 2.0;
+    v.push_back(s);
+  }
+  {
+    // lu: plain busy-loop flag test (Figure 6 right; Figure 1's 25.66x bar).
+    auto s = spec("lu", "npb", SyncKind::kSpinBarrier, 30_us, 900, 0.25,
+                  32_MiB, SEQ, 0.20);
+    v.push_back(s);
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& suite() {
+  static const std::vector<BenchmarkSpec> s = build_suite();
+  return s;
+}
+
+const BenchmarkSpec& find_benchmark(const std::string& name) {
+  for (const auto& b : suite()) {
+    if (b.name == name) return b;
+  }
+  EO_CHECK(false) << "unknown benchmark " << name;
+  __builtin_unreachable();
+}
+
+std::vector<std::string> fig9_benchmarks() {
+  return {"fluidanimate", "freqmine", "streamcluster", "lu_cb", "ocean",
+          "radix",        "is",       "cg",            "mg",    "ft",
+          "sp",           "bt",       "ua"};
+}
+
+// ---------------------------------------------------------------------------
+// Spawning
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared state of one benchmark instance; owned via shared_ptr captured by
+/// the worker lambdas (kept alive by Task::keepalive).
+struct BenchState {
+  std::unique_ptr<runtime::SimBarrier> barrier;
+  std::unique_ptr<runtime::SimMutex> mutex;
+  std::vector<std::unique_ptr<runtime::SimMutex>> cell_mutexes;
+  std::unique_ptr<runtime::SimCond> cond;
+  std::unique_ptr<runtime::SpinBarrier> spin_barrier;
+  std::vector<kern::SimWord*> flags;  // wavefront progress, one per thread
+  std::vector<hw::BranchSite> sites;  // spin site per wavefront edge
+  long long cond_round = 0;           // guarded by mutex
+};
+
+struct WorkerParams {
+  BenchmarkSpec spec;
+  int n_threads = 0;
+  int idx = 0;
+  int rounds = 0;
+  SimDuration chunk = 0;
+  std::uint64_t seed = 1;
+  hw::BranchSite tight_site = 0;
+};
+
+SimDuration jittered(const WorkerParams& p, Rng& rng) {
+  if (p.spec.jitter_cv <= 0.0) return p.chunk;
+  const double f = 1.0 + p.spec.jitter_cv * (2.0 * rng.next_double() - 1.0);
+  auto d = static_cast<SimDuration>(static_cast<double>(p.chunk) * f);
+  return d < 1000 ? 1000 : d;
+}
+
+/// One chunk of application compute, with the occasional tight loop
+/// (the Table 3 false-positive source).
+runtime::SimCall<void> do_chunk(Env env, const WorkerParams& p, Rng& rng) {
+  SimDuration work = jittered(p, rng);
+  const double p_tight =
+      p.spec.tight_loops_per_sec * to_sec(work);
+  if (p.spec.tight_loops_per_sec > 0 && rng.chance(p_tight)) {
+    const SimDuration tl = p.spec.tight_loop_len;
+    co_await env.tight_loop(tl, p.tight_site);
+    work = work > tl ? work - tl : 1000;
+  }
+  co_await env.compute(work);
+  co_return;
+}
+
+SimThread bench_worker(Env env, std::shared_ptr<BenchState> st,
+                       WorkerParams p) {
+  // Per-thread deterministic stream.
+  Rng rng(p.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(p.idx));
+  // Declare this thread's memory behaviour (per-thread share of the set).
+  hw::MemProfile prof;
+  prof.working_set =
+      p.spec.working_set / static_cast<std::uint64_t>(p.n_threads);
+  prof.pattern = p.spec.pattern;
+  prof.mem_intensity = p.spec.mem_intensity;
+  co_await env.set_mem_profile(prof);
+
+  const auto& spec = p.spec;
+  switch (spec.sync) {
+    case SyncKind::kNone: {
+      for (int r = 0; r < p.rounds; ++r) {
+        co_await do_chunk(env, p, rng);
+      }
+      break;
+    }
+    case SyncKind::kMutex: {
+      // fluidanimate: the number of locks (and lock operations) grows with
+      // the thread count — the inherent overhead VB cannot remove.
+      int locks = spec.locks_per_round;
+      if (spec.locks_scale_with_threads) {
+        locks = spec.locks_per_round * std::max(1, p.n_threads / 16);
+      }
+      const int n_cells = static_cast<int>(st->cell_mutexes.size());
+      for (int r = 0; r < p.rounds; ++r) {
+        co_await do_chunk(env, p, rng);
+        for (int l = 0; l < locks; ++l) {
+          // Striped (per-cell) locks, as in fluidanimate's grid.
+          runtime::SimMutex& m = *st->cell_mutexes[static_cast<size_t>(
+              (p.idx + r + l) % n_cells)];
+          co_await m.lock(env);
+          co_await env.compute(spec.cs_work);
+          co_await m.unlock(env);
+        }
+      }
+      break;
+    }
+    case SyncKind::kBarrier: {
+      for (int r = 0; r < p.rounds; ++r) {
+        co_await do_chunk(env, p, rng);
+        co_await st->barrier->wait(env);
+      }
+      break;
+    }
+    case SyncKind::kCondBroadcast: {
+      // streamcluster/ua-style coordinator: the master runs a fixed serial
+      // phase, broadcasts the round to the workers, then blocks until every
+      // worker reports completion (futex on a done-counter).
+      kern::SimWord* round_seq = st->flags[0];
+      kern::SimWord* done = st->flags[1 % st->flags.size()];
+      const auto workers = static_cast<std::uint64_t>(p.n_threads - 1);
+      if (p.idx == 0) {
+        for (int r = 0; r < p.rounds; ++r) {
+          co_await env.compute(spec.serial_work);
+          // Broadcast the round: bump the sequence and wake every waiter
+          // (exactly what pthread_cond_broadcast does at futex level).
+          co_await env.store(round_seq, static_cast<std::uint64_t>(r) + 1);
+          co_await env.futex_wake(round_seq, Env::kWakeAll);
+          // Block until every worker has reported completion.
+          for (;;) {
+            const std::uint64_t v = co_await env.load(done);
+            if (v >= workers * static_cast<std::uint64_t>(r + 1)) break;
+            co_await env.futex_wait(done, v);
+          }
+        }
+      } else {
+        for (int r = 0; r < p.rounds; ++r) {
+          for (;;) {
+            const std::uint64_t v = co_await env.load(round_seq);
+            if (v >= static_cast<std::uint64_t>(r) + 1) break;
+            co_await env.futex_wait(round_seq, v);
+          }
+          co_await do_chunk(env, p, rng);
+          const std::uint64_t v = co_await env.fetch_add(done, 1) + 1;
+          if (v >= workers * static_cast<std::uint64_t>(r + 1)) {
+            co_await env.futex_wake(done, 1);
+          }
+        }
+      }
+      break;
+    }
+    case SyncKind::kBlockingWavefront: {
+      // Ring pipeline with futex handoffs: thread i starts round r once its
+      // predecessor finished round r (thread 0 lags the ring by one round).
+      const int pred = (p.idx + p.n_threads - 1) % p.n_threads;
+      kern::SimWord* pw = st->flags[static_cast<size_t>(pred)];
+      kern::SimWord* mine = st->flags[static_cast<size_t>(p.idx)];
+      for (int r = 0; r < p.rounds; ++r) {
+        const std::uint64_t need =
+            static_cast<std::uint64_t>(r) + (p.idx == 0 ? 0 : 1);
+        for (;;) {
+          const std::uint64_t v = co_await env.load(pw);
+          if (v >= need) break;
+          co_await env.futex_wait(pw, v);
+        }
+        co_await do_chunk(env, p, rng);
+        co_await env.store(mine, static_cast<std::uint64_t>(r) + 1);
+        co_await env.futex_wake(mine, Env::kWakeAll);
+      }
+      break;
+    }
+    case SyncKind::kSpinBarrier: {
+      for (int r = 0; r < p.rounds; ++r) {
+        co_await do_chunk(env, p, rng);
+        co_await st->spin_barrier->wait(env);
+      }
+      break;
+    }
+    case SyncKind::kSpinWavefront: {
+      const int pred = (p.idx + p.n_threads - 1) % p.n_threads;
+      kern::SimWord* pw = st->flags[static_cast<size_t>(pred)];
+      kern::SimWord* mine = st->flags[static_cast<size_t>(p.idx)];
+      const hw::BranchSite site = st->sites[static_cast<size_t>(p.idx)];
+      for (int r = 0; r < p.rounds; ++r) {
+        const std::uint64_t need =
+            static_cast<std::uint64_t>(r) + (p.idx == 0 ? 0 : 1);
+        co_await env.spin_until(
+            pw, [need](std::uint64_t v) { return v >= need; }, site,
+            spec.spin_uses_pause);
+        co_await do_chunk(env, p, rng);
+        co_await env.store(mine, static_cast<std::uint64_t>(r) + 1);
+      }
+      break;
+    }
+  }
+  co_return;
+}
+
+}  // namespace
+
+void spawn_benchmark(kern::Kernel& k, const BenchmarkSpec& bspec,
+                     int n_threads, std::uint64_t seed, double duration_scale) {
+  EO_CHECK_GT(n_threads, 0);
+  auto st = std::make_shared<BenchState>();
+  st->mutex = std::make_unique<runtime::SimMutex>(k);
+  for (int i = 0; i < 4; ++i) {
+    st->cell_mutexes.push_back(std::make_unique<runtime::SimMutex>(k));
+  }
+  st->cond = std::make_unique<runtime::SimCond>(k);
+  st->barrier = std::make_unique<runtime::SimBarrier>(k, n_threads);
+  st->spin_barrier = std::make_unique<runtime::SpinBarrier>(
+      k, n_threads, bspec.spin_uses_pause);
+  st->flags.reserve(static_cast<size_t>(n_threads));
+  st->sites.reserve(static_cast<size_t>(n_threads));
+  for (int i = 0; i < n_threads; ++i) {
+    st->flags.push_back(k.alloc_word(0));
+    st->sites.push_back(runtime::next_spin_site());
+  }
+
+  int rounds = std::max(1, static_cast<int>(bspec.rounds * duration_scale));
+  // Strong scaling: per-round chunk shrinks as threads grow beyond the
+  // calibration point (Figure 3's intervals are measured at opt_threads).
+  const SimDuration chunk = std::max<SimDuration>(
+      1000, bspec.interval * bspec.opt_threads / n_threads);
+
+  for (int i = 0; i < n_threads; ++i) {
+    WorkerParams p;
+    p.spec = bspec;
+    p.n_threads = n_threads;
+    p.idx = i;
+    p.rounds = rounds;
+    p.chunk = chunk;
+    p.seed = seed;
+    p.tight_site = runtime::next_spin_site();
+    runtime::spawn(k, bspec.name + "-" + std::to_string(i),
+                   [st, p](Env env) { return bench_worker(env, st, p); });
+  }
+}
+
+}  // namespace eo::workloads

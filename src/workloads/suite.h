@@ -1,0 +1,109 @@
+// Synthetic models of the PARSEC 3.0, SPLASH-2, and NPB benchmarks.
+//
+// The paper's Section 2 reduces each benchmark's behaviour under thread
+// oversubscription to a handful of parameters: the synchronization primitive
+// it uses, the interval between synchronizations (Figure 3), per-round load
+// imbalance, the working set and its access pattern (Figure 4's
+// constructive/destructive cache effects), and — for the busy-waiting
+// benchmarks — whether the spin is a library lock or a custom loop. This
+// catalogue encodes those parameters for all 32 benchmarks of Figure 1; a
+// benchmark model is spawned as N coroutine threads executing the matching
+// synchronization pattern under strong scaling (total work fixed, per-round
+// chunk ∝ 1/N).
+//
+// What each group of Figure 1 maps to:
+//  * group 1 (unaffected): long sync intervals, light memory intensity;
+//  * group 2 (benefit):    random-access working sets in the TLB-constructive
+//                          region, and/or high per-round imbalance that
+//                          oversubscription smooths;
+//  * group 3 (suffer):     short intervals with barrier/cond wake storms
+//                          (blocking group, Figure 9) or busy-wait
+//                          synchronization (lu, cholesky, volrend; Figure 14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/cache_model.h"
+#include "kern/kernel.h"
+
+namespace eo::workloads {
+
+enum class SyncKind {
+  kNone,              ///< embarrassingly parallel (ep, blackscholes, ...)
+  kMutex,             ///< mutex-protected critical sections
+  kBarrier,           ///< futex barrier rounds
+  kCondBroadcast,     ///< master broadcasts a condition each round
+  kBlockingWavefront, ///< ring pipeline with futex handoffs (dedup, ferret)
+  kSpinBarrier,       ///< custom sense-reversing spin barrier (volrend)
+  kSpinWavefront,     ///< custom spin-flag ring pipeline (lu, cholesky)
+};
+
+const char* to_string(SyncKind k);
+
+struct BenchmarkSpec {
+  std::string name;
+  std::string origin;  ///< "parsec", "splash2", or "npb"
+  SyncKind sync = SyncKind::kBarrier;
+
+  /// Per-thread work between synchronizations at opt_threads (Figure 3).
+  SimDuration interval = 1_ms;
+  /// Uniform per-round jitter: chunk *= 1 + U(-cv, +cv).
+  double jitter_cv = 0.0;
+  /// Number of synchronization episodes (fixed across thread counts).
+  int rounds = 300;
+  /// Critical-section length for mutex-based benchmarks.
+  SimDuration cs_work = 2_us;
+  /// Fixed serial coordinator phase per round (kCondBroadcast master): this
+  /// does not shrink with the thread count (Amdahl section).
+  SimDuration serial_work = 50_us;
+  /// Lock acquisitions per round (fluidanimate's lock count scales with the
+  /// thread count when locks_scale_with_threads is set).
+  int locks_per_round = 1;
+  bool locks_scale_with_threads = false;
+
+  /// Total working set (per-thread footprint = working_set / n_threads).
+  std::uint64_t working_set = 16ull << 20;
+  hw::AccessPattern pattern = hw::AccessPattern::kSequentialRead;
+  double mem_intensity = 0.15;
+
+  /// Tight-loop phases (BWD false-positive source, Table 3): expected
+  /// episodes per second of per-thread compute (0 = none).
+  double tight_loops_per_sec = 0.0;
+  SimDuration tight_loop_len = 150_us;
+
+  /// Thread count at which the benchmark stops scaling (paper: 16 or 32).
+  int opt_threads = 32;
+
+  /// Custom spin loops contain PAUSE/NOP (detectable by PLE in VMs)?
+  bool spin_uses_pause = false;
+
+  /// Excluded from Figure 9's selection (dedup, cholesky, radiosity).
+  bool excluded_from_fig9 = false;
+
+  std::uint64_t ref_footprint() const {
+    return working_set / static_cast<std::uint64_t>(opt_threads);
+  }
+  bool is_spin_based() const {
+    return sync == SyncKind::kSpinBarrier || sync == SyncKind::kSpinWavefront;
+  }
+};
+
+/// The 32 benchmarks of Figure 1, in its left-to-right order.
+const std::vector<BenchmarkSpec>& suite();
+
+/// Lookup by name; aborts if unknown.
+const BenchmarkSpec& find_benchmark(const std::string& name);
+
+/// The 13 blocking-synchronization benchmarks of Figure 9 / Table 1.
+std::vector<std::string> fig9_benchmarks();
+
+/// Spawns the benchmark's threads into `k`. `n_threads` is the oversubscribed
+/// (or matched) thread count; work is strongly scaled. `duration_scale`
+/// multiplies the round count (shorter smoke runs in tests).
+void spawn_benchmark(kern::Kernel& k, const BenchmarkSpec& spec, int n_threads,
+                     std::uint64_t seed = 1, double duration_scale = 1.0);
+
+}  // namespace eo::workloads

@@ -1,0 +1,145 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eo {
+namespace {
+
+TEST(Histogram, EmptyBasics) {
+  Histogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.add(1234);
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_EQ(h.p50(), 1234);
+  EXPECT_DOUBLE_EQ(h.mean(), 1234.0);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  // Values below the sub-bucket count are recorded exactly.
+  Histogram h;
+  for (int v = 0; v < 32; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(Histogram, QuantileAccuracyUniform) {
+  Histogram h;
+  Rng rng(5);
+  std::vector<std::int64_t> vals;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(1000000));
+    vals.push_back(v);
+    h.add(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const auto exact = vals[static_cast<size_t>(q * (vals.size() - 1))];
+    const auto approx = h.quantile(q);
+    // Log-bucketed: ~3% relative error budget.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.04 + 32)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MeanMatches) {
+  Histogram h;
+  double sum = 0;
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(50000));
+    h.add(v);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(h.mean(), sum / 10000.0, 1e-6);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.add(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.total_count(), 1u);
+}
+
+TEST(Histogram, MergeEqualsCombined) {
+  Histogram a, b, combined;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(1 << 20));
+    if (i % 2 == 0) {
+      a.add(v);
+    } else {
+      b.add(v);
+    }
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), combined.total_count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.p95(), combined.p95());
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(100, 5);
+  h.clear();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.p99(), 0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h;
+  h.add(10, 99);
+  h.add(1000000, 1);
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_EQ(h.p50(), 10);
+  EXPECT_GT(h.quantile(1.0), 900000);
+}
+
+TEST(Summary, Moments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, MergeMatchesCombined) {
+  Summary a, b, c;
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100;
+    (i % 3 == 0 ? a : b).add(v);
+    c.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), c.count());
+  EXPECT_NEAR(a.mean(), c.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), c.variance(), 1e-6);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace eo

@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace eo {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrains) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool::parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); },
+                           8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  int calls = 0;
+  ThreadPool::parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ThreadPool::parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that each wait for the other's side effect would deadlock on a
+  // single thread; with 2 workers they complete.
+  std::atomic<bool> a{false}, b{false};
+  ThreadPool pool(2);
+  pool.submit([&] {
+    a = true;
+    while (!b) std::this_thread::yield();
+  });
+  pool.submit([&] {
+    b = true;
+    while (!a) std::this_thread::yield();
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(a && b);
+}
+
+}  // namespace
+}  // namespace eo

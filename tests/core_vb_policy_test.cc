@@ -1,0 +1,51 @@
+#include "core/vb_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace eo::core {
+namespace {
+
+TEST(VbPolicy, DisabledFeaturesNeverUseVb) {
+  Features f;  // vanilla
+  VbPolicy p(&f);
+  EXPECT_FALSE(p.use_vb_futex(100, 8));
+  EXPECT_FALSE(p.use_vb_epoll(100, 8));
+}
+
+TEST(VbPolicy, AutoDisableBelowCoreCount) {
+  Features f = Features::optimized();
+  VbPolicy p(&f);
+  // Paper: VB is off while all waiters could get dedicated cores on wakeup.
+  EXPECT_FALSE(p.use_vb_futex(7, 8));
+  EXPECT_TRUE(p.use_vb_futex(8, 8));
+  EXPECT_TRUE(p.use_vb_futex(31, 8));
+  EXPECT_FALSE(p.use_vb_epoll(3, 4));
+  EXPECT_TRUE(p.use_vb_epoll(4, 4));
+}
+
+TEST(VbPolicy, AlwaysOnWhenAutoDisableOff) {
+  Features f = Features::optimized();
+  f.vb_auto_disable = false;
+  VbPolicy p(&f);
+  EXPECT_TRUE(p.use_vb_futex(1, 8));
+  EXPECT_TRUE(p.use_vb_epoll(1, 8));
+}
+
+TEST(VbPolicy, FutexAndEpollIndependent) {
+  Features f;
+  f.vb_futex = true;
+  f.vb_epoll = false;
+  f.vb_auto_disable = false;
+  VbPolicy p(&f);
+  EXPECT_TRUE(p.use_vb_futex(1, 8));
+  EXPECT_FALSE(p.use_vb_epoll(100, 8));
+}
+
+TEST(VbPolicy, SingleCoreAlwaysOversubscribed) {
+  Features f = Features::optimized();
+  VbPolicy p(&f);
+  EXPECT_TRUE(p.use_vb_futex(1, 1));
+}
+
+}  // namespace
+}  // namespace eo::core

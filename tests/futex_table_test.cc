@@ -1,0 +1,60 @@
+#include "futex/futex.h"
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.h"
+
+namespace eo::futex {
+namespace {
+
+class FutexTableTest : public ::testing::Test {
+ protected:
+  kern::KernelConfig cfg_;
+  kern::Kernel k_{cfg_};  // used only as a SimWord/Task factory
+  FutexTable table_{16};
+};
+
+TEST_F(FutexTableTest, BucketStableForWord) {
+  auto* w = k_.alloc_word(0);
+  EXPECT_EQ(&table_.bucket_for(w), &table_.bucket_for(w));
+}
+
+TEST_F(FutexTableTest, WordsSpreadAcrossBuckets) {
+  // Not all words may hash to one bucket.
+  std::set<Bucket*> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(&table_.bucket_for(k_.alloc_word(0)));
+  }
+  EXPECT_GT(seen.size(), 4u);
+}
+
+TEST_F(FutexTableTest, RemoveFindsWaiter) {
+  auto* w = k_.alloc_word(0);
+  kern::Task* t1 = k_.create_task("t1");
+  kern::Task* t2 = k_.create_task("t2");
+  auto& b = table_.bucket_for(w);
+  b.waiters.push_back(Waiter{t1, false});
+  b.waiters.push_back(Waiter{t2, true});
+  EXPECT_EQ(table_.total_waiters(), 2u);
+  EXPECT_TRUE(table_.remove(b, t1));
+  EXPECT_FALSE(table_.remove(b, t1));
+  EXPECT_EQ(b.waiters.size(), 1u);
+  EXPECT_EQ(b.waiters.front().task, t2);
+  EXPECT_TRUE(b.waiters.front().vb);
+}
+
+TEST_F(FutexTableTest, FifoOrderPreserved) {
+  auto* w = k_.alloc_word(0);
+  auto& b = table_.bucket_for(w);
+  std::vector<kern::Task*> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(k_.create_task("t" + std::to_string(i)));
+    b.waiters.push_back(Waiter{tasks.back(), false});
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(b.waiters[static_cast<size_t>(i)].task, tasks[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace eo::futex

@@ -1,0 +1,118 @@
+// Tests for the analytic cache model, asserting the qualitative shape of
+// Figure 4's indirect-cost analysis.
+#include "hw/cache_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace eo::hw {
+namespace {
+
+class CacheModelTest : public ::testing::Test {
+ protected:
+  CacheModel cm{CacheParams{}, TlbParams{}};
+};
+
+TEST_F(CacheModelTest, SteadyCostIncreasesWithFootprintRandom) {
+  double prev = 0;
+  for (std::uint64_t fp = 16_KiB; fp <= 256_MiB; fp *= 2) {
+    const double c = cm.steady_access_ns(AccessPattern::kRandomRead, fp);
+    EXPECT_GE(c, prev - 1e-9) << fp;
+    prev = c;
+  }
+}
+
+TEST_F(CacheModelTest, SequentialCheaperThanRandomForLargeSets) {
+  const double seq = cm.steady_access_ns(AccessPattern::kSequentialRead, 64_MiB);
+  const double rnd = cm.steady_access_ns(AccessPattern::kRandomRead, 64_MiB);
+  EXPECT_LT(seq, rnd / 4.0);
+}
+
+TEST_F(CacheModelTest, RmwCostsMoreThanRead) {
+  for (std::uint64_t fp : {256_KiB, 4_MiB, 64_MiB}) {
+    EXPECT_GT(cm.steady_access_ns(AccessPattern::kRandomRMW, fp),
+              cm.steady_access_ns(AccessPattern::kRandomRead, fp));
+    EXPECT_GT(cm.steady_access_ns(AccessPattern::kSequentialRMW, fp),
+              cm.steady_access_ns(AccessPattern::kSequentialRead, fp));
+  }
+}
+
+TEST_F(CacheModelTest, SwitchPenaltyZeroWhenBothFitL2) {
+  EXPECT_EQ(cm.switch_penalty(AccessPattern::kSequentialRead, 64_KiB, 64_KiB),
+            0);
+}
+
+TEST_F(CacheModelTest, SequentialSwitchPenaltyGrowsToMillisecond) {
+  // The paper: ~1 ms per context switch at a 128 MB array (64 MB sub-array).
+  const auto small =
+      cm.switch_penalty(AccessPattern::kSequentialRead, 256_KiB, 256_KiB);
+  const auto large =
+      cm.switch_penalty(AccessPattern::kSequentialRead, 64_MiB, 64_MiB);
+  EXPECT_GT(small, 0);
+  EXPECT_LT(small, 20_us);
+  EXPECT_GT(large, 700_us);
+  EXPECT_LT(large, 1500_us);
+}
+
+TEST_F(CacheModelTest, RandomRmwSwitchPenaltyZero) {
+  // Paper: the L2 is not a factor for RMW; cold-start misses would have
+  // missed anyway.
+  EXPECT_EQ(cm.switch_penalty(AccessPattern::kRandomRMW, 8_MiB, 8_MiB), 0);
+}
+
+TEST_F(CacheModelTest, TlbConstructiveRegionForRandomRead) {
+  // Figure 4's rnd-r curve: halving the footprint from 512KB->256KB (total
+  // array 512KB) pays off via the L1 dTLB...
+  const double full = cm.steady_access_ns(AccessPattern::kRandomRead, 512_KiB);
+  const double half = cm.steady_access_ns(AccessPattern::kRandomRead, 256_KiB);
+  EXPECT_LT(half, full);
+  // ...and beyond 4MB total, halving pays off via the STLB.
+  const double full8 = cm.steady_access_ns(AccessPattern::kRandomRead, 8_MiB);
+  const double half4 = cm.steady_access_ns(AccessPattern::kRandomRead, 4_MiB);
+  EXPECT_LT(half4, full8);
+}
+
+TEST_F(CacheModelTest, MigrationPenaltyCrossSocketCostsMore) {
+  const auto in_node = cm.migration_penalty(4_MiB, false);
+  const auto cross = cm.migration_penalty(4_MiB, true);
+  EXPECT_GT(in_node, 0);
+  EXPECT_GT(cross, in_node);
+}
+
+TEST_F(CacheModelTest, MigrationPenaltyBoundedByCacheSizes) {
+  // Penalty saturates once the working set exceeds the caches.
+  EXPECT_EQ(cm.migration_penalty(64_MiB, false),
+            cm.migration_penalty(128_MiB, false));
+}
+
+TEST_F(CacheModelTest, ComputeRateFactorIdentityAtReference) {
+  MemProfile prof;
+  prof.working_set = 1_MiB;
+  prof.pattern = AccessPattern::kRandomRead;
+  prof.mem_intensity = 0.5;
+  EXPECT_DOUBLE_EQ(cm.compute_rate_factor(prof, 1_MiB, 1_MiB), 1.0);
+}
+
+TEST_F(CacheModelTest, ComputeRateFactorScalesWithIntensity) {
+  MemProfile lo, hi;
+  lo.working_set = hi.working_set = 8_MiB;
+  lo.pattern = hi.pattern = AccessPattern::kRandomRead;
+  lo.mem_intensity = 0.1;
+  hi.mem_intensity = 0.9;
+  const double flo = cm.compute_rate_factor(lo, 8_MiB, 1_MiB);
+  const double fhi = cm.compute_rate_factor(hi, 8_MiB, 1_MiB);
+  EXPECT_GT(fhi, flo);
+  EXPECT_GT(flo, 1.0);
+}
+
+TEST_F(CacheModelTest, PatternNames) {
+  EXPECT_STREQ(to_string(AccessPattern::kSequentialRead), "seq-r");
+  EXPECT_STREQ(to_string(AccessPattern::kRandomRMW), "rnd-rmw");
+  EXPECT_TRUE(is_random(AccessPattern::kRandomRead));
+  EXPECT_FALSE(is_random(AccessPattern::kSequentialRMW));
+  EXPECT_TRUE(is_rmw(AccessPattern::kSequentialRMW));
+}
+
+}  // namespace
+}  // namespace eo::hw

@@ -1,0 +1,62 @@
+#include "hw/tlb_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace eo::hw {
+namespace {
+
+TEST(Tlb, ReachMatchesTestbed) {
+  TlbModel t;
+  // 64 x 4KB and 1536 x 4KB (paper Section 2.3).
+  EXPECT_EQ(t.l1_reach(), 256_KiB);
+  EXPECT_EQ(t.l2_reach(), 6_MiB);
+}
+
+TEST(Tlb, SmallFootprintAlwaysHits) {
+  TlbModel t;
+  EXPECT_DOUBLE_EQ(t.l1_hit_prob(64_KiB), 1.0);
+  EXPECT_DOUBLE_EQ(t.combined_hit_prob(64_KiB), 1.0);
+  EXPECT_DOUBLE_EQ(t.random_access_extra_ns(64_KiB), 0.0);
+}
+
+TEST(Tlb, HitProbMonotonicallyDecreases) {
+  TlbModel t;
+  double prev = 2.0;
+  for (std::uint64_t fp = 64_KiB; fp <= 256_MiB; fp *= 2) {
+    const double p = t.l1_hit_prob(fp);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Tlb, RandomExtraCostIncreasesWithFootprint) {
+  TlbModel t;
+  double prev = -1.0;
+  for (std::uint64_t fp = 128_KiB; fp <= 256_MiB; fp *= 2) {
+    const double c = t.random_access_extra_ns(fp);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // Beyond both reaches, walks dominate.
+  EXPECT_GT(t.random_access_extra_ns(256_MiB), 20.0);
+}
+
+TEST(Tlb, HalvingFootprintIntoReachIsConstructive) {
+  // The Figure 4 argument: a sub-array that fits a TLB level is much cheaper
+  // to access randomly than the full array that does not.
+  TlbModel t;
+  const double full = t.random_access_extra_ns(12_MiB);   // beyond L2 reach
+  const double half = t.random_access_extra_ns(3_MiB);    // within L2 reach
+  EXPECT_GT(full, half + 5.0);
+}
+
+TEST(Tlb, SequentialResidualSmall) {
+  TlbModel t;
+  // Sequential translation cost is amortized over a page of elements.
+  EXPECT_LT(t.sequential_access_extra_ns(256_MiB, 8), 0.05);
+}
+
+}  // namespace
+}  // namespace eo::hw

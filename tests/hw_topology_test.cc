@@ -1,0 +1,61 @@
+#include "hw/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace eo::hw {
+namespace {
+
+TEST(Topology, CoresSingleSocket) {
+  const auto t = Topology::make_cores(8, 1);
+  EXPECT_EQ(t.n_cores(), 8);
+  EXPECT_EQ(t.n_sockets(), 1);
+  EXPECT_FALSE(t.smt_enabled());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(t.socket_of(i), 0);
+    EXPECT_EQ(t.smt_sibling(i), -1);
+  }
+}
+
+TEST(Topology, CoresTwoSockets) {
+  const auto t = Topology::make_cores(8, 2);
+  EXPECT_EQ(t.socket_of(0), 0);
+  EXPECT_EQ(t.socket_of(3), 0);
+  EXPECT_EQ(t.socket_of(4), 1);
+  EXPECT_EQ(t.socket_of(7), 1);
+  EXPECT_TRUE(t.same_socket(0, 3));
+  EXPECT_FALSE(t.same_socket(3, 4));
+}
+
+TEST(Topology, SmtSiblings) {
+  const auto t = Topology::make_smt(8, 2);
+  EXPECT_TRUE(t.smt_enabled());
+  EXPECT_EQ(t.smt_sibling(0), 1);
+  EXPECT_EQ(t.smt_sibling(1), 0);
+  EXPECT_EQ(t.smt_sibling(6), 7);
+  // Siblings share a socket.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(t.socket_of(i), t.socket_of(t.smt_sibling(i)));
+  }
+  // 4 physical cores, 2 per socket.
+  EXPECT_EQ(t.socket_of(0), 0);
+  EXPECT_EQ(t.socket_of(3), 0);
+  EXPECT_EQ(t.socket_of(4), 1);
+}
+
+TEST(Topology, CoresInSocket) {
+  const auto t = Topology::make_cores(8, 2);
+  const auto s0 = t.cores_in_socket(0);
+  const auto s1 = t.cores_in_socket(1);
+  EXPECT_EQ(s0.size(), 4u);
+  EXPECT_EQ(s1.size(), 4u);
+}
+
+TEST(Topology, DescribeMentionsShape) {
+  const auto t = Topology::make_smt(8, 2);
+  const auto s = t.describe();
+  EXPECT_NE(s.find("hyper-threads"), std::string::npos);
+  EXPECT_NE(s.find("2 socket"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eo::hw

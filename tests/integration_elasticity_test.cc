@@ -1,0 +1,112 @@
+// Integration tests of runtime core reconfiguration (the elasticity story).
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.h"
+#include "runtime/sim_thread.h"
+#include "workloads/suite.h"
+
+namespace eo {
+namespace {
+
+using runtime::Env;
+using runtime::SimThread;
+
+TEST(Elasticity, ScaleDownEvictsAndCompletes) {
+  kern::KernelConfig kc;
+  kc.topo = hw::Topology::make_cores(8, 2);
+  kern::Kernel k(kc);
+  for (int i = 0; i < 16; ++i) {
+    runtime::spawn(k, "t" + std::to_string(i), [](Env env) -> SimThread {
+      for (int r = 0; r < 20; ++r) {
+        co_await env.compute(500_us);
+        co_await env.yield();
+      }
+      co_return;
+    });
+  }
+  k.run_until(5_ms);
+  k.set_online_cores(2);
+  EXPECT_EQ(k.online_cores(), 2);
+  ASSERT_TRUE(k.run_to_exit(10_s));
+  // Threads evicted from offlined cores were migrated.
+  EXPECT_GT(k.stats().total_migrations(), 0u);
+}
+
+TEST(Elasticity, ScaleUpSpeedsUpOversubscribedThreads) {
+  auto run = [&](int final_cores) {
+    kern::KernelConfig kc;
+    kc.topo = hw::Topology::make_cores(32, 2);
+    kern::Kernel k(kc);
+    k.set_online_cores(8);
+    for (int i = 0; i < 32; ++i) {
+      runtime::spawn(k, "t" + std::to_string(i), [](Env env) -> SimThread {
+        co_await env.compute(20_ms);
+        co_return;
+      });
+    }
+    k.run_until(5_ms);
+    k.set_online_cores(final_cores);
+    EXPECT_TRUE(k.run_to_exit(60_s));
+    return k.last_exit_time();
+  };
+  const auto t8 = run(8);
+  const auto t32 = run(32);
+  // 32 oversubscribed threads exploit the added CPUs (the paper's point):
+  // close to a 4x speedup after the resize.
+  EXPECT_LT(t32, t8 * 2 / 5);
+}
+
+TEST(Elasticity, ScaleDownThenUpRoundTrip) {
+  kern::KernelConfig kc;
+  kc.topo = hw::Topology::make_cores(16, 2);
+  kern::Kernel k(kc);
+  for (int i = 0; i < 16; ++i) {
+    runtime::spawn(k, "t" + std::to_string(i), [](Env env) -> SimThread {
+      for (int r = 0; r < 40; ++r) co_await env.compute(250_us);
+      co_return;
+    });
+  }
+  k.run_until(2_ms);
+  k.set_online_cores(4);
+  k.run_until(20_ms);
+  k.set_online_cores(16);
+  ASSERT_TRUE(k.run_to_exit(10_s));
+}
+
+TEST(Elasticity, PinnedTaskViolationDetected) {
+  kern::KernelConfig kc;
+  kc.topo = hw::Topology::make_cores(8, 1);
+  kern::Kernel k(kc);
+  runtime::SpawnOpts opts;
+  opts.pin_cpu = 7;
+  runtime::spawn(
+      k, "pinned",
+      [](Env env) -> SimThread {
+        for (int r = 0; r < 100; ++r) co_await env.compute(1_ms);
+        co_return;
+      },
+      opts);
+  k.run_until(2_ms);
+  k.set_online_cores(4);  // takes away core 7
+  k.run_until(10_ms);
+  EXPECT_TRUE(k.pinned_violation())
+      << "pinning cannot adapt to shrinking CPU allocations (paper 4.2)";
+}
+
+TEST(Elasticity, VbSurvivesResizeWithBlockedThreads) {
+  // Resize while threads are VB-parked at a barrier; nothing may be lost.
+  kern::KernelConfig kc;
+  kc.topo = hw::Topology::make_cores(8, 2);
+  kc.features = core::Features::optimized();
+  kern::Kernel k(kc);
+  const auto& spec = workloads::find_benchmark("ocean");
+  workloads::spawn_benchmark(k, spec, 32, 5, 0.05);
+  k.run_until(10_ms);
+  k.set_online_cores(4);
+  k.run_until(30_ms);
+  k.set_online_cores(8);
+  EXPECT_TRUE(k.run_to_exit(300_s));
+}
+
+}  // namespace
+}  // namespace eo

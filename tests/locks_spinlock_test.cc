@@ -1,0 +1,118 @@
+// Parameterized correctness tests over all ten spinlock algorithms: mutual
+// exclusion, completion under contention, and progress on multiple cores.
+#include "locks/spinlocks.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/sim_thread.h"
+
+namespace eo::locks {
+namespace {
+
+using runtime::Env;
+using runtime::SimThread;
+
+class SpinLockTest : public ::testing::TestWithParam<SpinLockKind> {};
+
+struct Shared {
+  int in_cs = 0;
+  int max_in_cs = 0;
+  int total = 0;
+};
+
+SimThread contender(Env env, std::shared_ptr<SpinLock> lock,
+                    std::shared_ptr<Shared> sh, int slot, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    co_await lock->lock(env, slot);
+    ++sh->in_cs;
+    sh->max_in_cs = std::max(sh->max_in_cs, sh->in_cs);
+    co_await env.compute(2_us);
+    --sh->in_cs;
+    ++sh->total;
+    co_await lock->unlock(env, slot);
+    co_await env.compute(5_us);
+  }
+  co_return;
+}
+
+TEST_P(SpinLockTest, MutualExclusionFourCores) {
+  kern::KernelConfig c;
+  c.topo = hw::Topology::make_cores(4, 1);
+  kern::Kernel k(c);
+  auto lock = std::shared_ptr<SpinLock>(make_spinlock(GetParam(), k, 8));
+  auto sh = std::make_shared<Shared>();
+  const int iters = 15;
+  for (int i = 0; i < 8; ++i) {
+    runtime::spawn(k, "c" + std::to_string(i),
+                   [lock, sh, i, iters](Env env) {
+                     return contender(env, lock, sh, i, iters);
+                   });
+  }
+  ASSERT_TRUE(k.run_to_exit(30_s)) << to_string(GetParam());
+  EXPECT_EQ(sh->max_in_cs, 1) << "mutual exclusion violated by "
+                              << to_string(GetParam());
+  EXPECT_EQ(sh->total, 8 * iters);
+}
+
+TEST_P(SpinLockTest, OversubscribedCompletion) {
+  // 16 threads on 2 cores: spinning waiters must not livelock the holder
+  // forever (slices expire; the paper's pathology is slowness, not deadlock).
+  kern::KernelConfig c;
+  c.topo = hw::Topology::make_cores(2, 1);
+  kern::Kernel k(c);
+  auto lock = std::shared_ptr<SpinLock>(make_spinlock(GetParam(), k, 16));
+  auto sh = std::make_shared<Shared>();
+  for (int i = 0; i < 16; ++i) {
+    runtime::spawn(k, "c" + std::to_string(i), [lock, sh, i](Env env) {
+      return contender(env, lock, sh, i, 5);
+    });
+  }
+  ASSERT_TRUE(k.run_to_exit(120_s)) << to_string(GetParam());
+  EXPECT_EQ(sh->total, 16 * 5);
+  EXPECT_EQ(sh->max_in_cs, 1);
+}
+
+TEST_P(SpinLockTest, UncontendedFastPath) {
+  kern::KernelConfig c;
+  c.topo = hw::Topology::make_cores(1, 1);
+  kern::Kernel k(c);
+  auto lock = std::shared_ptr<SpinLock>(make_spinlock(GetParam(), k, 2));
+  bool done = false;
+  runtime::spawn(k, "solo", [lock, &done](Env env) -> SimThread {
+    for (int i = 0; i < 100; ++i) {
+      co_await lock->lock(env, 0);
+      co_await lock->unlock(env, 0);
+    }
+    done = true;
+    co_return;
+  });
+  ASSERT_TRUE(k.run_to_exit(5_s));
+  EXPECT_TRUE(done);
+  // No contention: essentially no spin time.
+  EXPECT_LT(k.total_spin_busy(), 1_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SpinLockTest,
+                         ::testing::ValuesIn(all_spinlock_kinds()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(SpinLockFactory, AllKindsConstructible) {
+  kern::KernelConfig c;
+  kern::Kernel k(c);
+  for (const auto kind : all_spinlock_kinds()) {
+    auto lock = make_spinlock(kind, k, 4);
+    ASSERT_NE(lock, nullptr);
+    EXPECT_STREQ(lock->name(), to_string(kind));
+  }
+}
+
+}  // namespace
+}  // namespace eo::locks

@@ -1,0 +1,115 @@
+// Tests for the metrics layer: latency recorder, table printer, and the
+// experiment harness.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/experiment.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/table_printer.h"
+#include "runtime/sim_thread.h"
+
+namespace eo::metrics {
+namespace {
+
+TEST(LatencyRecorder, BasicStats) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.record(i * 1000);  // 1..100 us
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_NEAR(r.mean_us(), 50.5, 1.0);
+  EXPECT_NEAR(r.p50_us(), 50.0, 3.0);
+  EXPECT_NEAR(r.p99_us(), 99.0, 4.0);
+  EXPECT_NEAR(r.max_us(), 100.0, 4.0);
+}
+
+TEST(LatencyRecorder, Throughput) {
+  LatencyRecorder r;
+  for (int i = 0; i < 500; ++i) r.record(10_us);
+  EXPECT_DOUBLE_EQ(r.throughput(1_s), 500.0);
+  EXPECT_DOUBLE_EQ(r.throughput(500_ms), 1000.0);
+  EXPECT_DOUBLE_EQ(r.throughput(0), 0.0);
+}
+
+TEST(LatencyRecorder, ClearResets) {
+  LatencyRecorder r;
+  r.record(5_us);
+  r.clear();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.p99_us(), 0.0);
+}
+
+TEST(TablePrinter, AlignedOutput) {
+  std::ostringstream os;
+  TablePrinter t({"name", "value"}, os);
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  t.print();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Every line in an aligned table has the same column start for "value".
+  const auto h = out.find("value");
+  ASSERT_NE(h, std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  std::ostringstream os;
+  TablePrinter t({"x", "y"}, os);
+  t.add_row({"1", "2"});
+  t.print_csv();
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::integer(-7), "-7");
+}
+
+TEST(Experiment, MakeKernelConfigHonorsShape) {
+  RunConfig rc;
+  rc.cpus = 6;
+  rc.sockets = 2;
+  rc.smt = true;
+  rc.seed = 99;
+  rc.ref_footprint = 1_MiB;
+  const auto kc = make_kernel_config(rc);
+  EXPECT_EQ(kc.topo.n_cores(), 6);
+  EXPECT_TRUE(kc.topo.smt_enabled());
+  EXPECT_EQ(kc.seed, 99u);
+  EXPECT_EQ(kc.ref_footprint, 1_MiB);
+}
+
+TEST(Experiment, RunReportsCompletionAndTime) {
+  RunConfig rc;
+  rc.cpus = 2;
+  rc.sockets = 1;
+  const auto r = run_experiment(rc, [](kern::Kernel& k) {
+    runtime::spawn(k, "t", [](runtime::Env env) -> runtime::SimThread {
+      co_await env.compute(3_ms);
+      co_return;
+    });
+  });
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.exec_time, 3_ms);
+  EXPECT_LT(r.exec_time, 4_ms);
+}
+
+TEST(Experiment, DeadlineReportsIncomplete) {
+  RunConfig rc;
+  rc.cpus = 1;
+  rc.sockets = 1;
+  rc.deadline = 2_ms;
+  const auto r = run_experiment(rc, [](kern::Kernel& k) {
+    runtime::spawn(k, "t", [](runtime::Env env) -> runtime::SimThread {
+      co_await env.compute(100_ms);
+      co_return;
+    });
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_GE(r.exec_time, 2_ms);
+}
+
+}  // namespace
+}  // namespace eo::metrics

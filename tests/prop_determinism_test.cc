@@ -1,0 +1,98 @@
+// Property: a simulation is a pure function of its configuration — identical
+// seeds give bit-identical schedules and metrics; different seeds perturb
+// stochastic workloads but not correctness.
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.h"
+#include "workloads/memcached.h"
+#include "workloads/mutilate.h"
+#include "workloads/suite.h"
+
+namespace eo {
+namespace {
+
+using metrics::RunConfig;
+using metrics::run_experiment;
+
+class DeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismTest, IdenticalSeedIdenticalRun) {
+  const auto& spec = workloads::find_benchmark(GetParam());
+  auto run = [&](std::uint64_t seed) {
+    RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 2;
+    rc.seed = seed;
+    rc.features = core::Features::optimized();
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 300_s;
+    return run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, 16, 42, 0.05);
+    });
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.stats.context_switches, b.stats.context_switches);
+  EXPECT_EQ(a.stats.total_migrations(), b.stats.total_migrations());
+  EXPECT_EQ(a.stats.vb_parks, b.stats.vb_parks);
+  EXPECT_EQ(a.bwd.windows, b.bwd.windows);
+  EXPECT_EQ(a.bwd.fp, b.bwd.fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, DeterminismTest,
+                         ::testing::Values("ocean", "streamcluster", "lu",
+                                           "canneal"));
+
+TEST(Determinism, MemcachedRunsReproduce) {
+  auto run = [] {
+    RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 1;
+    rc.features = core::Features::optimized();
+    auto kc = metrics::make_kernel_config(rc);
+    kern::Kernel k(kc);
+    workloads::MemcachedConfig mc;
+    mc.n_workers = 8;
+    workloads::MemcachedSim server(k, mc);
+    server.start();
+    workloads::MutilateConfig cc;
+    cc.rate_ops_per_sec = 200000;
+    cc.until = 100_ms;
+    cc.seed = 5;
+    workloads::MutilateClient client(server, cc);
+    client.start();
+    k.run_until(150_ms);
+    const auto done = server.completed();
+    const auto p99 = server.latencies().p99_us();
+    server.stop();
+    k.run_to_exit(k.now() + 1_s);
+    return std::make_pair(done, p99);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(Determinism, SeedChangesPerturbStochasticRuns) {
+  const auto& spec = workloads::find_benchmark("facesim");  // jittered
+  auto run = [&](std::uint64_t wl_seed) {
+    RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 1;
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 300_s;
+    return run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, 16, wl_seed, 0.05);
+    });
+  };
+  const auto a = run(1);
+  const auto b = run(2);
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_NE(a.exec_time, b.exec_time);
+}
+
+}  // namespace
+}  // namespace eo

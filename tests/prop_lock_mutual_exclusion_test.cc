@@ -1,0 +1,143 @@
+// Property sweep: mutual exclusion and completion hold for every lock
+// implementation across kernel configurations (vanilla / VB / BWD / VM),
+// core counts, and thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "locks/blocking_locks.h"
+#include "locks/spinlocks.h"
+#include "runtime/mutex.h"
+#include "runtime/sim_thread.h"
+
+namespace eo {
+namespace {
+
+using runtime::Env;
+using runtime::SimThread;
+
+struct Shared {
+  int in_cs = 0;
+  bool violated = false;
+  int total = 0;
+};
+
+enum class LockFamily { kSpin, kBlocking, kPthread };
+
+struct Case {
+  LockFamily family;
+  int variant;  // index into the family's kind list (ignored for pthread)
+  int cores;
+  int threads;
+  int features;  // 0 vanilla, 1 optimized, 2 vm+ple
+};
+
+class LockPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(LockPropertyTest, MutualExclusionHolds) {
+  const Case c = GetParam();
+  kern::KernelConfig kc;
+  kc.topo = hw::Topology::make_cores(c.cores, c.cores > 2 ? 2 : 1);
+  kc.features = c.features == 0   ? core::Features::vanilla()
+                : c.features == 1 ? core::Features::optimized()
+                                  : core::Features::vm_ple();
+  kern::Kernel k(kc);
+
+  std::shared_ptr<locks::SpinLock> spin;
+  std::shared_ptr<locks::BlockingLock> block;
+  std::shared_ptr<runtime::SimMutex> mutex;
+  switch (c.family) {
+    case LockFamily::kSpin:
+      spin = locks::make_spinlock(
+          locks::all_spinlock_kinds()[static_cast<size_t>(c.variant)], k,
+          c.threads);
+      break;
+    case LockFamily::kBlocking:
+      block = locks::make_blocking_lock(
+          locks::all_blocking_lock_kinds()[static_cast<size_t>(c.variant)], k,
+          c.threads);
+      break;
+    case LockFamily::kPthread:
+      mutex = std::make_shared<runtime::SimMutex>(k);
+      break;
+  }
+  auto sh = std::make_shared<Shared>();
+  const int iters = 8;
+  for (int i = 0; i < c.threads; ++i) {
+    runtime::spawn(k, "t" + std::to_string(i),
+                   [spin, block, mutex, sh, i, iters](Env env) -> SimThread {
+                     for (int r = 0; r < iters; ++r) {
+                       if (spin) co_await spin->lock(env, i);
+                       if (block) co_await block->lock(env, i);
+                       if (mutex) co_await mutex->lock(env);
+                       if (++sh->in_cs > 1) sh->violated = true;
+                       co_await env.compute(2_us);
+                       --sh->in_cs;
+                       ++sh->total;
+                       if (spin) co_await spin->unlock(env, i);
+                       if (block) co_await block->unlock(env, i);
+                       if (mutex) co_await mutex->unlock(env);
+                       co_await env.compute(6_us);
+                     }
+                     co_return;
+                   });
+  }
+  ASSERT_TRUE(k.run_to_exit(300_s));
+  EXPECT_FALSE(sh->violated);
+  EXPECT_EQ(sh->total, c.threads * iters);
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  // Every spinlock under oversubscription with BWD on and off.
+  for (int v = 0; v < static_cast<int>(locks::all_spinlock_kinds().size());
+       ++v) {
+    cases.push_back({LockFamily::kSpin, v, 2, 8, 0});
+    cases.push_back({LockFamily::kSpin, v, 2, 8, 1});
+  }
+  // Every blocking lock with VB on and off, and under a VM with PLE.
+  for (int v = 0;
+       v < static_cast<int>(locks::all_blocking_lock_kinds().size()); ++v) {
+    cases.push_back({LockFamily::kBlocking, v, 2, 10, 0});
+    cases.push_back({LockFamily::kBlocking, v, 2, 10, 1});
+    cases.push_back({LockFamily::kBlocking, v, 4, 4, 2});
+  }
+  // The futex mutex across shapes.
+  cases.push_back({LockFamily::kPthread, 0, 1, 6, 0});
+  cases.push_back({LockFamily::kPthread, 0, 1, 6, 1});
+  cases.push_back({LockFamily::kPthread, 0, 8, 24, 1});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LockPropertyTest,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) {
+                           const Case& c = info.param;
+                           std::string n;
+                           switch (c.family) {
+                             case LockFamily::kSpin:
+                               n = locks::to_string(
+                                   locks::all_spinlock_kinds()
+                                       [static_cast<size_t>(c.variant)]);
+                               break;
+                             case LockFamily::kBlocking:
+                               n = std::string("blk_") +
+                                   locks::to_string(
+                                       locks::all_blocking_lock_kinds()
+                                           [static_cast<size_t>(c.variant)]);
+                               break;
+                             case LockFamily::kPthread:
+                               n = "pthread_mutex";
+                               break;
+                           }
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           n += "_c" + std::to_string(c.cores) + "_t" +
+                                std::to_string(c.threads) + "_f" +
+                                std::to_string(c.features);
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace eo

@@ -1,0 +1,166 @@
+#include "sched/rbtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eo::sched {
+namespace {
+
+struct Item {
+  RbNode node;
+  long key = 0;
+  long seq = 0;  // tie-break to make ordering deterministic for checks
+};
+
+struct ItemLess {
+  bool operator()(const Item& a, const Item& b) const { return a.key < b.key; }
+};
+
+using Tree = RbTree<Item, &Item::node, ItemLess>;
+
+TEST(RbTree, EmptyBasics) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.leftmost(), nullptr);
+  EXPECT_GE(t.validate(), 0);
+}
+
+TEST(RbTree, InsertEraseSingle) {
+  Tree t;
+  Item a;
+  a.key = 5;
+  t.insert(&a);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.leftmost(), &a);
+  EXPECT_TRUE(t.contains(&a));
+  t.erase(&a);
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.contains(&a));
+}
+
+TEST(RbTree, LeftmostIsMinimum) {
+  Tree t;
+  std::vector<Item> items(100);
+  Rng rng(7);
+  for (auto& it : items) {
+    it.key = static_cast<long>(rng.next_below(1000));
+    t.insert(&it);
+  }
+  long min_key = std::min_element(items.begin(), items.end(),
+                                  [](const Item& a, const Item& b) {
+                                    return a.key < b.key;
+                                  })
+                     ->key;
+  ASSERT_NE(t.leftmost(), nullptr);
+  EXPECT_EQ(t.leftmost()->key, min_key);
+  EXPECT_GE(t.validate(), 0);
+}
+
+TEST(RbTree, InOrderTraversalIsSorted) {
+  Tree t;
+  std::vector<Item> items(200);
+  Rng rng(11);
+  for (auto& it : items) {
+    it.key = static_cast<long>(rng.next_below(500));
+    t.insert(&it);
+  }
+  long prev = -1;
+  std::size_t count = 0;
+  for (Item* i = t.leftmost(); i != nullptr; i = t.next(i)) {
+    EXPECT_GE(i->key, prev);
+    prev = i->key;
+    ++count;
+  }
+  EXPECT_EQ(count, items.size());
+}
+
+// Property test: a long random insert/erase sequence matches std::multiset
+// and preserves red-black invariants throughout.
+TEST(RbTree, RandomOpsMatchMultiset) {
+  Tree t;
+  std::vector<Item> pool(400);
+  std::vector<Item*> in_tree;
+  std::multiset<long> reference;
+  Rng rng(1234);
+  std::size_t next_free = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const bool do_insert =
+        in_tree.empty() ||
+        (next_free < pool.size() && rng.next_below(100) < 55);
+    if (do_insert && next_free < pool.size()) {
+      Item* it = &pool[next_free++];
+      it->key = static_cast<long>(rng.next_below(1000));
+      t.insert(it);
+      in_tree.push_back(it);
+      reference.insert(it->key);
+    } else if (!in_tree.empty()) {
+      const auto idx = rng.next_below(in_tree.size());
+      Item* it = in_tree[idx];
+      t.erase(it);
+      reference.erase(reference.find(it->key));
+      in_tree[idx] = in_tree.back();
+      in_tree.pop_back();
+      // Erased nodes can be reinserted.
+      if (rng.chance(0.3)) {
+        it->key = static_cast<long>(rng.next_below(1000));
+        t.insert(it);
+        in_tree.push_back(it);
+        reference.insert(it->key);
+      }
+    }
+    if (step % 64 == 0) {
+      ASSERT_GE(t.validate(), 0) << "red-black violation at step " << step;
+      ASSERT_EQ(t.size(), reference.size());
+      if (!reference.empty()) {
+        ASSERT_NE(t.leftmost(), nullptr);
+        ASSERT_EQ(t.leftmost()->key, *reference.begin());
+      }
+    }
+  }
+  // Full in-order check at the end.
+  std::vector<long> keys;
+  for (Item* i = t.leftmost(); i != nullptr; i = t.next(i)) {
+    keys.push_back(i->key);
+  }
+  std::vector<long> expected(reference.begin(), reference.end());
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RbTree, EqualKeysAllRetained) {
+  Tree t;
+  std::vector<Item> items(50);
+  for (auto& it : items) {
+    it.key = 42;
+    t.insert(&it);
+  }
+  EXPECT_EQ(t.size(), 50u);
+  EXPECT_GE(t.validate(), 0);
+  std::size_t n = 0;
+  for (Item* i = t.leftmost(); i != nullptr; i = t.next(i)) ++n;
+  EXPECT_EQ(n, 50u);
+  for (auto& it : items) t.erase(&it);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(RbTree, AscendingAndDescendingInserts) {
+  for (const bool ascending : {true, false}) {
+    Tree t;
+    std::vector<Item> items(128);
+    for (int i = 0; i < 128; ++i) {
+      items[static_cast<size_t>(i)].key = ascending ? i : 127 - i;
+      t.insert(&items[static_cast<size_t>(i)]);
+      ASSERT_GE(t.validate(), 0);
+    }
+    EXPECT_EQ(t.leftmost()->key, 0);
+  }
+}
+
+}  // namespace
+}  // namespace eo::sched

@@ -1,0 +1,118 @@
+// Tests for the synthetic benchmark catalogue and its spawning machinery.
+#include "workloads/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "metrics/experiment.h"
+
+namespace eo::workloads {
+namespace {
+
+TEST(SuiteCatalogue, Has32BenchmarksInFigure1Order) {
+  const auto& s = suite();
+  ASSERT_EQ(s.size(), 32u);
+  EXPECT_EQ(s.front().name, "blackscholes");
+  EXPECT_EQ(s.back().name, "lu");
+  std::set<std::string> names;
+  for (const auto& b : s) names.insert(b.name);
+  EXPECT_EQ(names.size(), 32u) << "duplicate benchmark names";
+}
+
+TEST(SuiteCatalogue, OriginsAreValid) {
+  for (const auto& b : suite()) {
+    EXPECT_TRUE(b.origin == "parsec" || b.origin == "splash2" ||
+                b.origin == "npb")
+        << b.name;
+  }
+}
+
+TEST(SuiteCatalogue, Fig9SelectionMatchesPaper) {
+  const auto names = fig9_benchmarks();
+  EXPECT_EQ(names.size(), 13u);
+  for (const auto& n : names) {
+    const auto& spec = find_benchmark(n);
+    EXPECT_FALSE(spec.excluded_from_fig9) << n;
+    EXPECT_FALSE(spec.is_spin_based())
+        << n << ": Figure 9 studies blocking synchronization";
+  }
+  // The paper's exclusions are in the catalogue but not in the selection.
+  EXPECT_TRUE(find_benchmark("dedup").excluded_from_fig9);
+  EXPECT_TRUE(find_benchmark("cholesky").excluded_from_fig9);
+  EXPECT_TRUE(find_benchmark("radiosity").excluded_from_fig9);
+}
+
+TEST(SuiteCatalogue, SpinBenchmarksArePresent) {
+  EXPECT_TRUE(find_benchmark("lu").is_spin_based());
+  EXPECT_TRUE(find_benchmark("volrend").is_spin_based());
+  EXPECT_TRUE(find_benchmark("cholesky").is_spin_based());
+}
+
+TEST(SuiteCatalogue, SyncIntervalsMatchFigure3Shape) {
+  // Most benchmarks synchronize no more often than every ~400us; the
+  // shortest blocking interval is facesim's 160us (the paper's minimum).
+  int below_160 = 0;
+  for (const auto& b : suite()) {
+    if (b.sync == SyncKind::kNone || b.is_spin_based()) continue;
+    if (b.interval < 160_us && b.sync != SyncKind::kBlockingWavefront) {
+      ++below_160;
+    }
+  }
+  EXPECT_LE(below_160, 3);
+  EXPECT_EQ(find_benchmark("facesim").interval, 160_us);
+}
+
+TEST(SuiteSpawn, BenchmarkRunsToCompletion) {
+  const auto& spec = find_benchmark("blackscholes");
+  metrics::RunConfig rc;
+  rc.cpus = 4;
+  rc.sockets = 1;
+  rc.ref_footprint = spec.ref_footprint();
+  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+    spawn_benchmark(k, spec, 8, 1, 0.05);
+  });
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.exec_time, 0);
+}
+
+TEST(SuiteSpawn, EverySyncKindCompletesSmall) {
+  // One representative per synchronization kind, tiny scale.
+  for (const char* name : {"swaptions", "canneal", "ocean", "ua", "dedup",
+                           "volrend", "lu"}) {
+    const auto& spec = find_benchmark(name);
+    metrics::RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 2;
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 120_s;
+    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      spawn_benchmark(k, spec, 8, 1, 0.02);
+    });
+    EXPECT_TRUE(r.completed) << name;
+  }
+}
+
+TEST(SuiteSpawn, StrongScalingKeepsTotalWork) {
+  // Doubling threads halves the per-round chunk: total compute stays ~equal,
+  // so on ample cores the 16T run is at most ~2x faster, not 2x slower.
+  const auto& spec = find_benchmark("barnes");
+  auto run = [&](int threads) {
+    metrics::RunConfig rc;
+    rc.cpus = 16;
+    rc.sockets = 2;
+    rc.ref_footprint = spec.ref_footprint();
+    return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      spawn_benchmark(k, spec, threads, 1, 0.05);
+    });
+  };
+  const auto r8 = run(8);
+  const auto r16 = run(16);
+  ASSERT_TRUE(r8.completed);
+  ASSERT_TRUE(r16.completed);
+  EXPECT_LT(r16.exec_time, r8.exec_time);
+  EXPECT_GT(r16.exec_time, r8.exec_time / 4);
+}
+
+}  // namespace
+}  // namespace eo::workloads
