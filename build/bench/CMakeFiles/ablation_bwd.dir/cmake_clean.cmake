@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bwd.dir/ablation_bwd.cc.o"
+  "CMakeFiles/ablation_bwd.dir/ablation_bwd.cc.o.d"
+  "ablation_bwd"
+  "ablation_bwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

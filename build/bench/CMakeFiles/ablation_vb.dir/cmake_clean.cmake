@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vb.dir/ablation_vb.cc.o"
+  "CMakeFiles/ablation_vb.dir/ablation_vb.cc.o.d"
+  "ablation_vb"
+  "ablation_vb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_oversubscription.dir/fig01_oversubscription.cc.o"
+  "CMakeFiles/fig01_oversubscription.dir/fig01_oversubscription.cc.o.d"
+  "fig01_oversubscription"
+  "fig01_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_direct_cost.dir/fig02_direct_cost.cc.o"
+  "CMakeFiles/fig02_direct_cost.dir/fig02_direct_cost.cc.o.d"
+  "fig02_direct_cost"
+  "fig02_direct_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_direct_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sync_interval.dir/fig03_sync_interval.cc.o"
+  "CMakeFiles/fig03_sync_interval.dir/fig03_sync_interval.cc.o.d"
+  "fig03_sync_interval"
+  "fig03_sync_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sync_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

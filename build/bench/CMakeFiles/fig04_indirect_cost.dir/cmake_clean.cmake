@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_indirect_cost.dir/fig04_indirect_cost.cc.o"
+  "CMakeFiles/fig04_indirect_cost.dir/fig04_indirect_cost.cc.o.d"
+  "fig04_indirect_cost"
+  "fig04_indirect_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_indirect_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vb_blocking.dir/fig09_vb_blocking.cc.o"
+  "CMakeFiles/fig09_vb_blocking.dir/fig09_vb_blocking.cc.o.d"
+  "fig09_vb_blocking"
+  "fig09_vb_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vb_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

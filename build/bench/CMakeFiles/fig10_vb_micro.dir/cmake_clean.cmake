@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vb_micro.dir/fig10_vb_micro.cc.o"
+  "CMakeFiles/fig10_vb_micro.dir/fig10_vb_micro.cc.o.d"
+  "fig10_vb_micro"
+  "fig10_vb_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vb_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

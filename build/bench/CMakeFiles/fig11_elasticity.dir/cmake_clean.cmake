@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_elasticity.dir/fig11_elasticity.cc.o"
+  "CMakeFiles/fig11_elasticity.dir/fig11_elasticity.cc.o.d"
+  "fig11_elasticity"
+  "fig11_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

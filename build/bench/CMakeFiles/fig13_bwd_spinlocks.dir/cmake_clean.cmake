@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bwd_spinlocks.dir/fig13_bwd_spinlocks.cc.o"
+  "CMakeFiles/fig13_bwd_spinlocks.dir/fig13_bwd_spinlocks.cc.o.d"
+  "fig13_bwd_spinlocks"
+  "fig13_bwd_spinlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bwd_spinlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

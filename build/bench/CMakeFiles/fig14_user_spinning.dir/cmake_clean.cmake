@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_user_spinning.dir/fig14_user_spinning.cc.o"
+  "CMakeFiles/fig14_user_spinning.dir/fig14_user_spinning.cc.o.d"
+  "fig14_user_spinning"
+  "fig14_user_spinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_user_spinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

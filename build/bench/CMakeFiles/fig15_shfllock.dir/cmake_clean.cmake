@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_shfllock.dir/fig15_shfllock.cc.o"
+  "CMakeFiles/fig15_shfllock.dir/fig15_shfllock.cc.o.d"
+  "fig15_shfllock"
+  "fig15_shfllock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_shfllock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

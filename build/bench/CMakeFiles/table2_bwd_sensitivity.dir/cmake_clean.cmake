@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bwd_sensitivity.dir/table2_bwd_sensitivity.cc.o"
+  "CMakeFiles/table2_bwd_sensitivity.dir/table2_bwd_sensitivity.cc.o.d"
+  "table2_bwd_sensitivity"
+  "table2_bwd_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bwd_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bwd_specificity.dir/table3_bwd_specificity.cc.o"
+  "CMakeFiles/table3_bwd_specificity.dir/table3_bwd_specificity.cc.o.d"
+  "table3_bwd_specificity"
+  "table3_bwd_specificity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bwd_specificity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lock.dir/custom_lock.cpp.o"
+  "CMakeFiles/custom_lock.dir/custom_lock.cpp.o.d"
+  "custom_lock"
+  "custom_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

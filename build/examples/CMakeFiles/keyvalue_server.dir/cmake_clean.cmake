@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyvalue_server.dir/keyvalue_server.cpp.o"
+  "CMakeFiles/keyvalue_server.dir/keyvalue_server.cpp.o.d"
+  "keyvalue_server"
+  "keyvalue_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyvalue_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

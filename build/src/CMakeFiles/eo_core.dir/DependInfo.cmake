@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/eo_core.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/eo_core.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/eo_core.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/eo_core.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/bwd.cc" "src/CMakeFiles/eo_core.dir/core/bwd.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/core/bwd.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/eo_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/vb_policy.cc" "src/CMakeFiles/eo_core.dir/core/vb_policy.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/core/vb_policy.cc.o.d"
+  "/root/repo/src/epollsim/epoll.cc" "src/CMakeFiles/eo_core.dir/epollsim/epoll.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/epollsim/epoll.cc.o.d"
+  "/root/repo/src/futex/futex.cc" "src/CMakeFiles/eo_core.dir/futex/futex.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/futex/futex.cc.o.d"
+  "/root/repo/src/hw/cache_model.cc" "src/CMakeFiles/eo_core.dir/hw/cache_model.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/hw/cache_model.cc.o.d"
+  "/root/repo/src/hw/instr_stream.cc" "src/CMakeFiles/eo_core.dir/hw/instr_stream.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/hw/instr_stream.cc.o.d"
+  "/root/repo/src/hw/lbr.cc" "src/CMakeFiles/eo_core.dir/hw/lbr.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/hw/lbr.cc.o.d"
+  "/root/repo/src/hw/ple.cc" "src/CMakeFiles/eo_core.dir/hw/ple.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/hw/ple.cc.o.d"
+  "/root/repo/src/hw/pmc.cc" "src/CMakeFiles/eo_core.dir/hw/pmc.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/hw/pmc.cc.o.d"
+  "/root/repo/src/hw/tlb_model.cc" "src/CMakeFiles/eo_core.dir/hw/tlb_model.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/hw/tlb_model.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/CMakeFiles/eo_core.dir/hw/topology.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/hw/topology.cc.o.d"
+  "/root/repo/src/kern/kernel.cc" "src/CMakeFiles/eo_core.dir/kern/kernel.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/kern/kernel.cc.o.d"
+  "/root/repo/src/kern/klock.cc" "src/CMakeFiles/eo_core.dir/kern/klock.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/kern/klock.cc.o.d"
+  "/root/repo/src/kern/task.cc" "src/CMakeFiles/eo_core.dir/kern/task.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/kern/task.cc.o.d"
+  "/root/repo/src/kern/wake_q.cc" "src/CMakeFiles/eo_core.dir/kern/wake_q.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/kern/wake_q.cc.o.d"
+  "/root/repo/src/locks/blocking_locks.cc" "src/CMakeFiles/eo_core.dir/locks/blocking_locks.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/locks/blocking_locks.cc.o.d"
+  "/root/repo/src/locks/spinlocks.cc" "src/CMakeFiles/eo_core.dir/locks/spinlocks.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/locks/spinlocks.cc.o.d"
+  "/root/repo/src/metrics/experiment.cc" "src/CMakeFiles/eo_core.dir/metrics/experiment.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/metrics/experiment.cc.o.d"
+  "/root/repo/src/metrics/latency_recorder.cc" "src/CMakeFiles/eo_core.dir/metrics/latency_recorder.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/metrics/latency_recorder.cc.o.d"
+  "/root/repo/src/metrics/table_printer.cc" "src/CMakeFiles/eo_core.dir/metrics/table_printer.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/metrics/table_printer.cc.o.d"
+  "/root/repo/src/runtime/barrier.cc" "src/CMakeFiles/eo_core.dir/runtime/barrier.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/runtime/barrier.cc.o.d"
+  "/root/repo/src/runtime/condvar.cc" "src/CMakeFiles/eo_core.dir/runtime/condvar.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/runtime/condvar.cc.o.d"
+  "/root/repo/src/runtime/env.cc" "src/CMakeFiles/eo_core.dir/runtime/env.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/runtime/env.cc.o.d"
+  "/root/repo/src/runtime/mutex.cc" "src/CMakeFiles/eo_core.dir/runtime/mutex.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/runtime/mutex.cc.o.d"
+  "/root/repo/src/runtime/semaphore.cc" "src/CMakeFiles/eo_core.dir/runtime/semaphore.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/runtime/semaphore.cc.o.d"
+  "/root/repo/src/runtime/sim_thread.cc" "src/CMakeFiles/eo_core.dir/runtime/sim_thread.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/runtime/sim_thread.cc.o.d"
+  "/root/repo/src/runtime/spin.cc" "src/CMakeFiles/eo_core.dir/runtime/spin.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/runtime/spin.cc.o.d"
+  "/root/repo/src/sched/cfs.cc" "src/CMakeFiles/eo_core.dir/sched/cfs.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/sched/cfs.cc.o.d"
+  "/root/repo/src/sched/hrtimer.cc" "src/CMakeFiles/eo_core.dir/sched/hrtimer.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/sched/hrtimer.cc.o.d"
+  "/root/repo/src/sched/load_balancer.cc" "src/CMakeFiles/eo_core.dir/sched/load_balancer.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/sched/load_balancer.cc.o.d"
+  "/root/repo/src/sched/runqueue.cc" "src/CMakeFiles/eo_core.dir/sched/runqueue.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/sched/runqueue.cc.o.d"
+  "/root/repo/src/sched/sched_stats.cc" "src/CMakeFiles/eo_core.dir/sched/sched_stats.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/sched/sched_stats.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/eo_core.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/sim/engine.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/CMakeFiles/eo_core.dir/workloads/memcached.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/workloads/memcached.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/CMakeFiles/eo_core.dir/workloads/microbench.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/workloads/microbench.cc.o.d"
+  "/root/repo/src/workloads/mutilate.cc" "src/CMakeFiles/eo_core.dir/workloads/mutilate.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/workloads/mutilate.cc.o.d"
+  "/root/repo/src/workloads/pipeline.cc" "src/CMakeFiles/eo_core.dir/workloads/pipeline.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/workloads/pipeline.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/eo_core.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/eo_core.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeo_core.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bwd_test.dir/core_bwd_test.cc.o"
+  "CMakeFiles/core_bwd_test.dir/core_bwd_test.cc.o.d"
+  "core_bwd_test"
+  "core_bwd_test.pdb"
+  "core_bwd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bwd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

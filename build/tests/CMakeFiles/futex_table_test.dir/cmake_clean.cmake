@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futex_table_test.dir/futex_table_test.cc.o"
+  "CMakeFiles/futex_table_test.dir/futex_table_test.cc.o.d"
+  "futex_table_test"
+  "futex_table_test.pdb"
+  "futex_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futex_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

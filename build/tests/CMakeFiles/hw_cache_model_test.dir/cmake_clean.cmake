@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cache_model_test.dir/hw_cache_model_test.cc.o"
+  "CMakeFiles/hw_cache_model_test.dir/hw_cache_model_test.cc.o.d"
+  "hw_cache_model_test"
+  "hw_cache_model_test.pdb"
+  "hw_cache_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cache_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

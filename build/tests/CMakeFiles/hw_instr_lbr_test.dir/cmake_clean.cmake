@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_instr_lbr_test.dir/hw_instr_lbr_test.cc.o"
+  "CMakeFiles/hw_instr_lbr_test.dir/hw_instr_lbr_test.cc.o.d"
+  "hw_instr_lbr_test"
+  "hw_instr_lbr_test.pdb"
+  "hw_instr_lbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_instr_lbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hw_instr_lbr_test.
+# This may be replaced when dependencies are built.

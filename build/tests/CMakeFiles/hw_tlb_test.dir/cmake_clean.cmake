@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tlb_test.dir/hw_tlb_test.cc.o"
+  "CMakeFiles/hw_tlb_test.dir/hw_tlb_test.cc.o.d"
+  "hw_tlb_test"
+  "hw_tlb_test.pdb"
+  "hw_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_topology_test.dir/hw_topology_test.cc.o"
+  "CMakeFiles/hw_topology_test.dir/hw_topology_test.cc.o.d"
+  "hw_topology_test"
+  "hw_topology_test.pdb"
+  "hw_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_bwd_test.dir/integration_bwd_test.cc.o"
+  "CMakeFiles/integration_bwd_test.dir/integration_bwd_test.cc.o.d"
+  "integration_bwd_test"
+  "integration_bwd_test.pdb"
+  "integration_bwd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_bwd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_elasticity_test.dir/integration_elasticity_test.cc.o"
+  "CMakeFiles/integration_elasticity_test.dir/integration_elasticity_test.cc.o.d"
+  "integration_elasticity_test"
+  "integration_elasticity_test.pdb"
+  "integration_elasticity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_elasticity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

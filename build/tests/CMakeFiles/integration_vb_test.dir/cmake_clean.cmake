@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_vb_test.dir/integration_vb_test.cc.o"
+  "CMakeFiles/integration_vb_test.dir/integration_vb_test.cc.o.d"
+  "integration_vb_test"
+  "integration_vb_test.pdb"
+  "integration_vb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_vb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

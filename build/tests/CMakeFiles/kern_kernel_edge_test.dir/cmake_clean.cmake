@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_kernel_edge_test.dir/kern_kernel_edge_test.cc.o"
+  "CMakeFiles/kern_kernel_edge_test.dir/kern_kernel_edge_test.cc.o.d"
+  "kern_kernel_edge_test"
+  "kern_kernel_edge_test.pdb"
+  "kern_kernel_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_kernel_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

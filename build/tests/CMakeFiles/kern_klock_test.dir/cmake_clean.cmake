@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_klock_test.dir/kern_klock_test.cc.o"
+  "CMakeFiles/kern_klock_test.dir/kern_klock_test.cc.o.d"
+  "kern_klock_test"
+  "kern_klock_test.pdb"
+  "kern_klock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_klock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locks_blocking_test.dir/locks_blocking_test.cc.o"
+  "CMakeFiles/locks_blocking_test.dir/locks_blocking_test.cc.o.d"
+  "locks_blocking_test"
+  "locks_blocking_test.pdb"
+  "locks_blocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locks_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locks_spinlock_test.dir/locks_spinlock_test.cc.o"
+  "CMakeFiles/locks_spinlock_test.dir/locks_spinlock_test.cc.o.d"
+  "locks_spinlock_test"
+  "locks_spinlock_test.pdb"
+  "locks_spinlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locks_spinlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_lock_mutual_exclusion_test.dir/prop_lock_mutual_exclusion_test.cc.o"
+  "CMakeFiles/prop_lock_mutual_exclusion_test.dir/prop_lock_mutual_exclusion_test.cc.o.d"
+  "prop_lock_mutual_exclusion_test"
+  "prop_lock_mutual_exclusion_test.pdb"
+  "prop_lock_mutual_exclusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_lock_mutual_exclusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_sched_fairness_test.dir/prop_sched_fairness_test.cc.o"
+  "CMakeFiles/prop_sched_fairness_test.dir/prop_sched_fairness_test.cc.o.d"
+  "prop_sched_fairness_test"
+  "prop_sched_fairness_test.pdb"
+  "prop_sched_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_sched_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

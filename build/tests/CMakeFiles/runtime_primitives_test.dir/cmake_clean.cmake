@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_primitives_test.dir/runtime_primitives_test.cc.o"
+  "CMakeFiles/runtime_primitives_test.dir/runtime_primitives_test.cc.o.d"
+  "runtime_primitives_test"
+  "runtime_primitives_test.pdb"
+  "runtime_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_balancer_test.dir/sched_balancer_test.cc.o"
+  "CMakeFiles/sched_balancer_test.dir/sched_balancer_test.cc.o.d"
+  "sched_balancer_test"
+  "sched_balancer_test.pdb"
+  "sched_balancer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

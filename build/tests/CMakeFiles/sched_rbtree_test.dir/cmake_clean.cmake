@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_rbtree_test.dir/sched_rbtree_test.cc.o"
+  "CMakeFiles/sched_rbtree_test.dir/sched_rbtree_test.cc.o.d"
+  "sched_rbtree_test"
+  "sched_rbtree_test.pdb"
+  "sched_rbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_rbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_runqueue_test.dir/sched_runqueue_test.cc.o"
+  "CMakeFiles/sched_runqueue_test.dir/sched_runqueue_test.cc.o.d"
+  "sched_runqueue_test"
+  "sched_runqueue_test.pdb"
+  "sched_runqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_runqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
