@@ -5,24 +5,146 @@
 // (default chosen per bench) that multiplies the simulated round counts, so
 // `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
 // keeps `for b in build/bench/*; do $b; done` quick.
+//
+// Benches wired for tracing additionally accept:
+//   --trace=<path>         capture an event trace of one representative run
+//   --trace-format=json|csv  export format (default json, Perfetto-loadable)
+//   --trace-only           skip the figure grid, run only the traced config
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "metrics/experiment.h"
 #include "metrics/table_printer.h"
+#include "trace/export.h"
+#include "trace/timeline.h"
+#include "trace/trace.h"
 
 namespace eo::bench {
 
 inline double parse_scale(int argc, char** argv, double def) {
-  if (argc > 1) {
-    const double s = std::atof(argv[1]);
+  // Flags (--trace=...) may precede or follow the positional scale.
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;
+    const double s = std::atof(argv[i]);
     if (s > 0) return s;
   }
   return def;
+}
+
+/// Parsed command line for the trace-wired benches.
+struct BenchArgs {
+  double scale = 1.0;
+  std::string trace_path;  ///< empty = tracing off
+  std::string trace_format = "json";
+  bool trace_only = false;
+
+  bool tracing() const { return !trace_path.empty(); }
+};
+
+inline BenchArgs parse_args(int argc, char** argv, double def_scale) {
+  BenchArgs a;
+  a.scale = parse_scale(argc, argv, def_scale);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      a.trace_path = arg.substr(8);
+      if (a.trace_path.empty()) {
+        std::fprintf(stderr,
+                     "warning: empty --trace= path, tracing stays off\n");
+      }
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      a.trace_format = arg.substr(15);
+      if (a.trace_format != "json" && a.trace_format != "csv") {
+        std::fprintf(stderr,
+                     "error: --trace-format must be 'json' or 'csv' (got "
+                     "'%s')\n",
+                     a.trace_format.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--trace-only") {
+      a.trace_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "warning: unknown flag '%s' ignored\n",
+                   arg.c_str());
+    }
+  }
+  return a;
+}
+
+/// Exports the run's trace per `args` and cross-checks it: every kind in
+/// `required` must be present, and the TimelineAnalyzer's wakeup-latency
+/// quantiles must agree with the kernel's own histogram within 1%. Returns
+/// false (after printing the reason) on any failure; true when tracing is
+/// off or everything checks out.
+inline bool export_and_check_trace(
+    const metrics::RunResult& r, const BenchArgs& args,
+    std::initializer_list<trace::EventKind> required) {
+  if (!args.tracing()) return true;
+  if (!r.trace) {
+    std::fprintf(stderr, "trace: run captured no trace (EO_TRACE=OFF build "
+                         "or tracing not enabled on the run)\n");
+    return false;
+  }
+  const trace::Trace& tr = *r.trace;
+  std::string err;
+  if (!trace::export_to_file(tr, args.trace_path, args.trace_format, &err)) {
+    std::fprintf(stderr, "trace: export failed: %s\n", err.c_str());
+    return false;
+  }
+  std::printf("trace: wrote %zu events (%llu dropped) to %s [%s]\n",
+              tr.events.size(),
+              static_cast<unsigned long long>(tr.dropped),
+              args.trace_path.c_str(), args.trace_format.c_str());
+
+  bool ok = true;
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(trace::EventKind::kCount), 0);
+  for (const auto& e : tr.events) {
+    if (e.kind < counts.size()) ++counts[e.kind];
+  }
+  for (const trace::EventKind k : required) {
+    if (counts[static_cast<std::size_t>(k)] == 0) {
+      std::fprintf(stderr, "trace: required event kind '%s' is absent\n",
+                   trace::to_string(k));
+      ok = false;
+    }
+  }
+
+  const trace::TimelineStats tl = trace::TimelineAnalyzer::analyze(tr);
+  const auto close = [](std::int64_t a, std::int64_t b) {
+    const double da = static_cast<double>(a);
+    const double db = static_cast<double>(b);
+    return std::fabs(da - db) <=
+           0.01 * std::max(std::fabs(da), std::fabs(db)) + 1e-9;
+  };
+  std::printf("trace: wakeup latency p50=%lld ns p99=%lld ns over %llu "
+              "wakeups (kernel: p50=%lld p99=%lld over %llu)\n",
+              static_cast<long long>(tl.wakeup_latency.p50()),
+              static_cast<long long>(tl.wakeup_latency.p99()),
+              static_cast<unsigned long long>(tl.wakeup_latency.total_count()),
+              static_cast<long long>(r.wakeup_latency.p50()),
+              static_cast<long long>(r.wakeup_latency.p99()),
+              static_cast<unsigned long long>(
+                  r.wakeup_latency.total_count()));
+  if (tr.dropped == 0) {
+    // With no ring overwrites the trace holds every wakeup, so the analyzer
+    // must reproduce the kernel's histogram.
+    if (!close(tl.wakeup_latency.p50(), r.wakeup_latency.p50()) ||
+        !close(tl.wakeup_latency.p99(), r.wakeup_latency.p99())) {
+      std::fprintf(stderr,
+                   "trace: analyzer wakeup-latency quantiles diverge >1%% "
+                   "from the kernel histogram\n");
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 inline void print_header(const char* id, const char* what) {

@@ -44,10 +44,34 @@ std::vector<Point> run_variant(bool with_atomic, SimDuration total_work,
   return out;
 }
 
+// Traced configuration: 8 threads time-sharing one core with a shared
+// atomic per chunk — a dense stream of context switches and wakeups.
+bool run_traced(const bench::BenchArgs& args, double scale) {
+  metrics::RunConfig rc;
+  rc.cpus = 1;
+  rc.sockets = 1;
+  rc.deadline = 600_s;
+  rc.trace.enabled = true;
+  rc.trace.ring_capacity = 1u << 20;
+  const auto work = static_cast<SimDuration>(2_s * scale);
+  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+    workloads::spawn_compute_atomic(k, 8, work, 750_us);
+  });
+  std::printf("traced run: 8T atomic-yield on 1 core exec=%s ms\n",
+              bench::ms(r.exec_time).c_str());
+  return bench::export_and_check_trace(
+      r, args, {trace::EventKind::kSwitchIn, trace::EventKind::kSwitchOut});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 1.0);
+  const auto args = bench::parse_args(argc, argv, 1.0);
+  const double scale = args.scale;
+  if (args.tracing()) {
+    if (!run_traced(args, scale)) return 1;
+    if (args.trace_only) return 0;
+  }
   bench::print_header("Figure 2(a)", "pure computation, yield every 750us, 1 core");
   {
     metrics::TablePrinter t({"threads", "normalized", "per-CS cost (us)"});

@@ -10,8 +10,43 @@
 
 using namespace eo;
 
+namespace {
+
+// Representative traced configuration: "cg" at 32 threads (optimized) on 8
+// cores. cg mixes futex blocking (so VB parks and flag-check quanta appear)
+// with tight spin loops (so BWD samples and deschedules appear), making its
+// trace exercise every subsystem the figure is about.
+bool run_traced(const bench::BenchArgs& args, double scale) {
+  const auto& spec = workloads::find_benchmark("cg");
+  metrics::RunConfig rc;
+  rc.cpus = 8;
+  rc.sockets = 2;
+  rc.features = core::Features::optimized();
+  rc.ref_footprint = spec.ref_footprint();
+  rc.deadline = 600_s;
+  rc.trace.enabled = true;
+  rc.trace.ring_capacity = 1u << 20;
+  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+    workloads::spawn_benchmark(k, spec, 32, 7, scale);
+  });
+  std::printf("traced run: cg 32T(opt-8c) exec=%s ms\n",
+              bench::ms(r.exec_time).c_str());
+  return bench::export_and_check_trace(
+      r, args,
+      {trace::EventKind::kSwitchIn, trace::EventKind::kFutexWait,
+       trace::EventKind::kFutexWake, trace::EventKind::kVbSkipQuantum,
+       trace::EventKind::kBwdDesched});
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.2);
+  const auto args = bench::parse_args(argc, argv, 0.2);
+  const double scale = args.scale;
+  if (args.tracing()) {
+    if (!run_traced(args, scale)) return 1;
+    if (args.trace_only) return 0;
+  }
   bench::print_header("Figure 9",
                       "VB on blocking benchmarks (normalized to 8T vanilla)");
 

@@ -90,11 +90,43 @@ void run_mode(bool vm, int items) {
   table.print();
 }
 
+// Traced configuration: the TTAS pipeline at 32 threads (optimized) in a
+// container — the oversubscribed spin workload BWD exists to fix.
+bool run_traced(const bench::BenchArgs& args, int items,
+                SimDuration total_stage_work) {
+  metrics::RunConfig rc;
+  rc.cpus = 8;
+  rc.sockets = 2;
+  rc.features = core::Features::optimized();
+  rc.deadline = 2000_s;
+  rc.trace.enabled = true;
+  rc.trace.ring_capacity = 1u << 20;
+  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+    workloads::PipelineConfig pc;
+    pc.n_stages = 32;
+    pc.items = items;
+    pc.stage_work = total_stage_work / 32;
+    pc.uses_pause = lock_uses_pause(locks::SpinLockKind::kTtas);
+    workloads::spawn_spin_pipeline(k, pc);
+  });
+  std::printf("traced run: ttas 32T(opt) pipeline exec=%s ms\n",
+              bench::ms(r.exec_time).c_str());
+  return bench::export_and_check_trace(
+      r, args,
+      {trace::EventKind::kSwitchIn, trace::EventKind::kBwdSample,
+       trace::EventKind::kBwdDesched});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.2);
+  const auto args = bench::parse_args(argc, argv, 0.2);
+  const double scale = args.scale;
   const int items = std::max(40, static_cast<int>(600 * scale));
+  if (args.tracing()) {
+    if (!run_traced(args, items, 2_ms)) return 1;
+    if (args.trace_only) return 0;
+  }
   bench::print_header("Figure 13(a)",
                       "spin pipeline in a container (exec ms)");
   run_mode(false, items);

@@ -19,6 +19,7 @@
 #include "core/config.h"
 #include "hw/lbr.h"
 #include "hw/pmc.h"
+#include "trace/trace.h"
 
 namespace eo::core {
 
@@ -66,13 +67,20 @@ class BwdDetector {
  public:
   explicit BwdDetector(const Features* features) : f_(features) {}
 
+  /// Wires the event tracer: every evaluated window with busy time emits a
+  /// kBwdSample record (may be null).
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
   /// Evaluates one window. `truth` is only used for the ground-truth label;
-  /// detection consumes nothing but the modeled hardware state.
+  /// detection consumes nothing but the modeled hardware state. `core` and
+  /// `tid` only label the trace record.
   BwdVerdict evaluate(const hw::LbrState& lbr, const hw::Pmc& pmc,
-                      const BwdWindowTruth& truth) const;
+                      const BwdWindowTruth& truth, int core = -1,
+                      std::int32_t tid = 0) const;
 
  private:
   const Features* f_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace eo::core

@@ -1,2 +1,4 @@
-// VbPolicy is header-only; anchor translation unit.
 #include "core/vb_policy.h"
+
+// VbPolicy is header-only (the decision sits on the futex/epoll blocking
+// path); this TU anchors the header for the build.

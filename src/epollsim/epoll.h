@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "kern/klock.h"
+#include "trace/trace.h"
 
 namespace eo::kern {
 struct Task;
@@ -41,11 +42,27 @@ struct EpollInstance {
 
 class EpollTable {
  public:
+  /// Wires the event tracer (may be null).
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
   /// Creates a new instance; returns its fd.
   int create();
 
   EpollInstance& get(int epfd);
   const EpollInstance& get(int epfd) const;
+
+  /// Acquires the instance lock at `now` for `hold`, tracing the queueing
+  /// delay as a kEpollLock record attributed to `core`/`tid`. Returns the
+  /// wait time; the caller's total cost is wait + hold. Inline for the same
+  /// reason as FutexTable::lock_bucket.
+  SimDuration lock_instance(EpollInstance& ep, SimTime now, SimDuration hold,
+                            int core, std::int32_t tid) {
+    const SimDuration wait = ep.lock.acquire(now, hold);
+    EO_TRACE_EVENT(tracer_, core, trace::EventKind::kEpollLock, tid,
+                   static_cast<std::uint64_t>(wait),
+                   static_cast<std::uint64_t>(hold));
+    return wait;
+  }
 
   /// Removes a specific waiter. Returns true if found.
   bool remove_waiter(EpollInstance& ep, const kern::Task* task);
@@ -54,6 +71,7 @@ class EpollTable {
 
  private:
   std::vector<EpollInstance> instances_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace eo::epollsim

@@ -31,6 +31,7 @@ const char* to_string(TaskState s) {
 
 Kernel::Kernel(KernelConfig cfg)
     : cfg_(std::move(cfg)),
+      tracer_(&engine_, cfg_.topo.n_cores(), cfg_.trace),
       cache_(cfg_.cache, cfg_.tlb),
       instr_(cfg_.instr),
       ple_([&] {
@@ -49,8 +50,15 @@ Kernel::Kernel(KernelConfig cfg)
     cores_.back()->rng = rng_.split();
   }
   n_online_ = n;
+  futex_.set_tracer(&tracer_);
+  epolls_.set_tracer(&tracer_);
+  vb_policy_.set_tracer(&tracer_);
+  bwd_.set_tracer(&tracer_);
   for (int i = 0; i < n; ++i) {
     Core& c = core(i);
+    c.rq.set_tracer(&tracer_);
+    c.balance_timer.set_trace(&tracer_, i, sched::TimerId::kBalance);
+    c.bwd_timer.set_trace(&tracer_, i, sched::TimerId::kBwd);
     // Stagger periodic timers so cores do not balance in lockstep.
     c.balance_timer.start(&engine_, cfg_.cfs.balance_interval,
                           i * 200_us, [this, &c] { balance_timer_fire(c); });
@@ -98,6 +106,8 @@ void Kernel::start_task(Task* t, int cpu) {
   // Start slightly behind the queue head so running tasks are not preempted
   // by a thundering herd of spawns.
   t->se.vruntime = c.rq.min_vruntime();
+  EO_TRACE_EVENT(&tracer_, cpu, trace::EventKind::kTaskStart, t->tid,
+                 static_cast<std::uint64_t>(cpu), 0);
   c.rq.enqueue(&t->se, /*wakeup=*/false);
   if (c.current == nullptr) {
     kick(c);
@@ -205,6 +215,9 @@ void Kernel::set_online_cores(int n) {
       if (t->pinned && t->pin_cpu == c.id) pinned_violation_ = true;
       se->vruntime = d.rq.min_vruntime();
       t->last_cpu = dst;
+      EO_TRACE_EVENT(&tracer_, dst, trace::EventKind::kMigration, t->tid,
+                     static_cast<std::uint64_t>(c.id),
+                     static_cast<std::uint64_t>(dst));
       d.rq.enqueue(se, /*wakeup=*/false);
       kick(d);
     }
@@ -248,7 +261,17 @@ void Kernel::reset_metrics() {
   }
   stats_ = sched::SchedStats{};
   bwd_accuracy_ = core::BwdAccuracy{};
+  wakeup_latency_.clear();
   metrics_reset_time_ = now();
+}
+
+trace::Trace Kernel::snapshot_trace() const {
+  trace::Trace tr = tracer_.snapshot();
+  tr.task_names.reserve(tasks_.size());
+  for (const auto& tp : tasks_) {
+    tr.task_names.emplace_back(tp->tid, tp->name);
+  }
+  return tr;
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +410,9 @@ void Kernel::schedule(Core& c) {
       t->resume_penalty = std::max(t->resume_penalty, pen);
     }
   }
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kSwitchIn, t->tid,
+                 static_cast<std::uint64_t>(t->se.vruntime),
+                 real_switch ? 1u : 0u);
   c.last_task = t;
   c.current = t;
   t->state = TaskState::kRunning;
@@ -418,6 +444,15 @@ void Kernel::begin_current(Core& c) {
   if (t->se.vb_blocked) {
     setup_vb_check(c, t);
     return;
+  }
+
+  if (t->runnable_since >= 0) {
+    // First real run after an unblock: the paper's wakeup latency.
+    const SimDuration lat = now() - t->runnable_since;
+    t->runnable_since = -1;
+    wakeup_latency_.add(lat);
+    EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kRunAfterWake, t->tid,
+                   static_cast<std::uint64_t>(lat), 0);
   }
 
   if (std::holds_alternative<std::monostate>(t->pending)) {
@@ -720,6 +755,9 @@ void Kernel::deschedule_current(Core& c, bool requeue, bool voluntary) {
     ++t->stats.involuntary_switches;
     ++stats_.involuntary_switches;
   }
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kSwitchOut, t->tid,
+                 static_cast<std::uint64_t>(t->se.vruntime),
+                 voluntary ? 1u : 0u);
   c.rq.put_prev(&t->se);
   if (requeue) {
     t->state = TaskState::kRunnable;
@@ -735,8 +773,9 @@ void Kernel::deschedule_current(Core& c, bool requeue, bool voluntary) {
 }
 
 void Kernel::setup_vb_check(Core& c, Task* t) {
-  (void)t;
   ++stats_.vb_check_quanta;
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kVbSkipQuantum, t->tid,
+                 stats_.vb_check_quanta, 0);
   set_segment(c, hw::SegmentKind::kRegular, hw::kVariedSites, false);
   const SimDuration q = cfg_.costs.vb_check_quantum;
   c.run_start = now();
@@ -834,7 +873,8 @@ void Kernel::perform_atomic(Core& c, Task* t, const AtomicAction& a) {
 bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
   auto& b = futex_.bucket_for(a.word);
   SimDuration cost = cfg_.costs.syscall_entry;
-  cost += b.lock.acquire(now(), cfg_.costs.bucket_lock_hold) +
+  cost += futex_.lock_bucket(b, now(), cfg_.costs.bucket_lock_hold, c.id,
+                             t->tid) +
           cfg_.costs.bucket_lock_hold;
   if (a.word->value_ != a.expected) {
     // EWOULDBLOCK: the value changed; return to userspace.
@@ -846,12 +886,15 @@ bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
   for (const auto& w : b.waiters) {
     if (w.task->wait_word == a.word) ++same_word;
   }
-  const bool vb = vb_policy_.use_vb_futex(same_word + 1, n_online_);
+  const bool vb = vb_policy_.use_vb_futex(same_word + 1, n_online_, c.id,
+                                          t->tid);
   b.waiters.push_back(futex::Waiter{t, vb});
   t->wait_word = a.word;
   t->vb_waiting = vb;
   t->block_start = now();
   ++t->stats.futex_waits;
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kFutexWait, t->tid,
+                 a.word->id_, vb ? 1u : 0u);
   if (vb) {
     ++stats_.vb_parks;
     ++t->stats.vb_parks;
@@ -887,8 +930,10 @@ bool Kernel::handle_futex_wake(Core& c, Task* t, const FutexWakeAction& a) {
       ++it;
     }
   }
-  cost += b.lock.acquire(now(), hold) + hold;
+  cost += futex_.lock_bucket(b, now(), hold, c.id, t->tid) + hold;
   ++stats_.futex_wakes;
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kFutexWake, t->tid,
+                 a.word->id_, static_cast<std::uint64_t>(list.size()));
   if (list.empty()) {
     t->overhead += cost;
     finish_action(t, 0);
@@ -906,6 +951,8 @@ void Kernel::start_wake_chain(Core& c, Task* waker,
   chain->waker = waker;
   chain->waker_cpu = c.id;
   chain->waiters = std::move(list);
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kWakeupBegin, waker->tid,
+                 static_cast<std::uint64_t>(chain->waiters.size()), 0);
   engine_.schedule_after(initial_cost,
                          [this, chain] { wake_chain_step(chain); });
 }
@@ -923,6 +970,8 @@ void Kernel::wake_chain_step(std::shared_ptr<WakeChain> chain) {
   // Chain complete: resume the waker.
   Task* w = chain->waker;
   w->in_kernel = false;
+  EO_TRACE_EVENT(&tracer_, chain->waker_cpu, trace::EventKind::kWakeupEnd,
+                 w->tid, chain->result, 0);
   finish_action(w, chain->result);
   if (w->state != TaskState::kRunning) {
     // Waker was evicted (core offlining); it resumes when next scheduled.
@@ -989,9 +1038,15 @@ SimDuration Kernel::wake_task_vanilla(Task* t) {
         t->resume_penalty, cache_.migration_penalty(t->mem.working_set,
                                                     cross) +
                                cfg_.costs.migration_base);
+    EO_TRACE_EVENT(&tracer_, cpu, trace::EventKind::kMigration, t->tid,
+                   static_cast<std::uint64_t>(t->last_cpu),
+                   static_cast<std::uint64_t>(cpu));
   }
   t->state = TaskState::kRunnable;
   t->last_cpu = cpu;
+  t->runnable_since = now();
+  EO_TRACE_EVENT(&tracer_, cpu, trace::EventKind::kWakeup, t->tid,
+                 static_cast<std::uint64_t>(cpu), 0);
   tc.rq.enqueue(&t->se, /*wakeup=*/true);
   maybe_preempt(tc, &t->se);
   return cost;
@@ -1008,6 +1063,9 @@ SimDuration Kernel::wake_task_vb(Task* t) {
   t->vb_waiting = false;
   EO_CHECK_GE(t->se.cpu, 0);
   Core& tc = core(t->se.cpu);
+  t->runnable_since = now();
+  EO_TRACE_EVENT(&tracer_, t->se.cpu, trace::EventKind::kWakeup, t->tid,
+                 static_cast<std::uint64_t>(t->se.cpu), 1);
   if (tc.current == t) {
     // Mid flag-check quantum: clear in place; the quantum event resumes it.
     tc.rq.vb_clear_current(&t->se);
@@ -1026,7 +1084,8 @@ SimDuration Kernel::wake_task_vb(Task* t) {
 bool Kernel::handle_epoll_wait(Core& c, Task* t, const EpollWaitAction& a) {
   auto& ep = epolls_.get(a.epfd);
   SimDuration cost = cfg_.costs.syscall_entry;
-  cost += ep.lock.acquire(now(), cfg_.costs.bucket_lock_hold) +
+  cost += epolls_.lock_instance(ep, now(), cfg_.costs.bucket_lock_hold, c.id,
+                                t->tid) +
           cfg_.costs.bucket_lock_hold;
   if (!ep.ready.empty()) {
     const std::uint64_t data = ep.ready.front();
@@ -1037,11 +1096,13 @@ bool Kernel::handle_epoll_wait(Core& c, Task* t, const EpollWaitAction& a) {
     return true;
   }
   const bool vb = vb_policy_.use_vb_epoll(
-      static_cast<int>(ep.waiters.size()) + 1, n_online_);
+      static_cast<int>(ep.waiters.size()) + 1, n_online_, c.id, t->tid);
   ep.waiters.push_back(epollsim::EpollWaiter{t, vb});
   t->wait_epfd = a.epfd;
   t->vb_waiting = vb;
   t->block_start = now();
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kEpollWait, t->tid,
+                 static_cast<std::uint64_t>(a.epfd), vb ? 1u : 0u);
   if (vb) {
     ++stats_.vb_parks;
     ++t->stats.vb_parks;
@@ -1061,9 +1122,13 @@ bool Kernel::handle_epoll_wait(Core& c, Task* t, const EpollWaitAction& a) {
 bool Kernel::handle_epoll_post(Core& c, Task* t, const EpollPostAction& a) {
   auto& ep = epolls_.get(a.epfd);
   SimDuration cost = cfg_.costs.syscall_entry;
-  cost += ep.lock.acquire(now(), cfg_.costs.bucket_lock_hold) +
+  cost += epolls_.lock_instance(ep, now(), cfg_.costs.bucket_lock_hold, c.id,
+                                t->tid) +
           cfg_.costs.bucket_lock_hold;
   ++ep.posted;
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kEpollPost, t->tid,
+                 static_cast<std::uint64_t>(a.epfd),
+                 ep.waiters.empty() ? 0u : 1u);
   if (ep.waiters.empty()) {
     ep.ready.push_back(a.data);
     t->overhead += cost;
@@ -1090,6 +1155,8 @@ void Kernel::start_wake_chain_delivered(Core& c, Task* waker,
   chain->waker_cpu = c.id;
   chain->waiters = std::move(list);
   chain->delivered = true;
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kWakeupBegin, waker->tid,
+                 static_cast<std::uint64_t>(chain->waiters.size()), 0);
   engine_.schedule_after(initial_cost,
                          [this, chain] { wake_chain_step(chain); });
 }
@@ -1097,6 +1164,9 @@ void Kernel::start_wake_chain_delivered(Core& c, Task* waker,
 void Kernel::epoll_post_external(int epfd, std::uint64_t data) {
   auto& ep = epolls_.get(epfd);
   ++ep.posted;
+  EO_TRACE_EVENT(&tracer_, -1, trace::EventKind::kEpollPost, 0,
+                 static_cast<std::uint64_t>(epfd),
+                 ep.waiters.empty() ? 0u : 1u);
   if (ep.waiters.empty()) {
     ep.ready.push_back(data);
     return;
@@ -1119,6 +1189,9 @@ void Kernel::epoll_post_external(int epfd, std::uint64_t data) {
 
 void Kernel::handle_sleep(Core& c, Task* t, const SleepAction& a) {
   t->block_start = now();
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kSleep, t->tid,
+                 a.duration > 0 ? static_cast<std::uint64_t>(a.duration) : 1u,
+                 0);
   deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
   t->state = TaskState::kSleeping;
   const SimDuration d = std::max<SimDuration>(a.duration, 1);
@@ -1131,6 +1204,7 @@ void Kernel::handle_sleep(Core& c, Task* t, const SleepAction& a) {
 }
 
 void Kernel::handle_exit(Core& c, Task* t) {
+  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kTaskExit, t->tid, 0, 0);
   deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
   t->state = TaskState::kExited;
   --live_tasks_;
@@ -1146,7 +1220,9 @@ void Kernel::bwd_timer_fire(Core& c) {
   if (!c.online) return;
   ++stats_.bwd_timer_fires;
   account_segment(c);
-  const auto verdict = bwd_.evaluate(c.lbr, c.pmc, c.window);
+  const auto verdict =
+      bwd_.evaluate(c.lbr, c.pmc, c.window, c.id,
+                    c.current != nullptr ? c.current->tid : 0);
   if (c.window.busy > 0) bwd_accuracy_.add(verdict);
   if (verdict.detected) {
     ++stats_.bwd_detections;
@@ -1155,6 +1231,8 @@ void Kernel::bwd_timer_fire(Core& c) {
         c.rq.nr_schedulable() > 0) {
       ++stats_.bwd_descheduled;
       ++t->stats.bwd_descheduled;
+      EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kBwdDesched, t->tid,
+                     verdict.ground_truth_spin ? 1u : 0u, 0);
       deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
       c.rq.bwd_mark_skip(&t->se);
       schedule(c);
@@ -1204,6 +1282,9 @@ void Kernel::apply_migration(const sched::BalanceDecision& d) {
   d.victim->vruntime = d.victim->vruntime - src.rq.min_vruntime() +
                        dst.rq.min_vruntime();
   t->last_cpu = d.dst_cpu;
+  EO_TRACE_EVENT(&tracer_, d.dst_cpu, trace::EventKind::kMigration, t->tid,
+                 static_cast<std::uint64_t>(d.src_cpu),
+                 static_cast<std::uint64_t>(d.dst_cpu));
   dst.rq.enqueue(d.victim, /*wakeup=*/false);
   kick(dst);
 }

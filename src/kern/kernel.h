@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/bwd.h"
@@ -38,6 +39,7 @@
 #include "sched/runqueue.h"
 #include "sched/sched_stats.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace eo::kern {
 
@@ -54,6 +56,8 @@ struct KernelConfig {
   /// Reference per-thread footprint for compute-rate calibration; 0 means
   /// "use the task's own footprint" (no relative scaling).
   std::uint64_t ref_footprint = 0;
+  /// Event tracing (sim-ftrace); disabled by default.
+  trace::TraceConfig trace;
 };
 
 /// Per-core utilization/diagnostic counters.
@@ -116,9 +120,17 @@ class Kernel {
   /// offlined cores (models runtime CPU re-provisioning of a container).
   void set_online_cores(int n);
 
+  // --- tracing ---
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
+  /// Merged, time-ordered trace with task-name metadata attached.
+  trace::Trace snapshot_trace() const;
+
   // --- metrics ---
   const sched::SchedStats& stats() const { return stats_; }
   const core::BwdAccuracy& bwd_accuracy() const { return bwd_accuracy_; }
+  /// Unblock -> first-run latency of every wakeup (vanilla and VB).
+  const Histogram& wakeup_latency() const { return wakeup_latency_; }
   const CoreMetrics& core_metrics(int cpu) const {
     return cores_[static_cast<size_t>(cpu)]->metrics;
   }
@@ -256,6 +268,7 @@ class Kernel {
 
   KernelConfig cfg_;
   sim::Engine engine_;
+  trace::Tracer tracer_;
   hw::CacheModel cache_;
   hw::InstrStreamModel instr_;
   hw::PleModel ple_;
@@ -275,6 +288,7 @@ class Kernel {
 
   sched::SchedStats stats_;
   core::BwdAccuracy bwd_accuracy_;
+  Histogram wakeup_latency_;
   SimTime metrics_reset_time_ = 0;
   SimTime last_exit_time_ = 0;
   bool pinned_violation_ = false;

@@ -43,6 +43,7 @@ struct TaskStats {
 struct Task {
   Task(int tid_in, std::string name_in) : tid(tid_in), name(std::move(name_in)) {
     se.task = this;
+    se.tid = tid_in;
   }
   ~Task() {
     if (top) top.destroy();
@@ -90,6 +91,9 @@ struct Task {
   bool vb_waiting = false;
   /// Time the current block started (for sleep_time accounting).
   SimTime block_start = 0;
+  /// Time the task last became runnable after an unblock; -1 when it has
+  /// already run since. Feeds the wakeup-latency histogram and trace.
+  SimTime runnable_since = -1;
 
   TaskStats stats;
 

@@ -13,6 +13,7 @@ kern::KernelConfig make_kernel_config(const RunConfig& cfg) {
   kc.costs = cfg.costs;
   kc.seed = cfg.seed;
   kc.ref_footprint = cfg.ref_footprint;
+  kc.trace = cfg.trace;
   return kc;
 }
 
@@ -28,6 +29,10 @@ RunResult run_experiment(const RunConfig& cfg,
   r.stats = k.stats();
   r.bwd = k.bwd_accuracy();
   r.pinned_violation = k.pinned_violation();
+  r.wakeup_latency = k.wakeup_latency();
+  if (k.tracer().enabled()) {
+    r.trace = std::make_shared<trace::Trace>(k.snapshot_trace());
+  }
   return r;
 }
 

@@ -5,12 +5,15 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "common/histogram.h"
 #include "core/bwd.h"
 #include "core/config.h"
 #include "kern/kernel.h"
 #include "sched/sched_stats.h"
+#include "trace/trace.h"
 
 namespace eo::metrics {
 
@@ -28,6 +31,8 @@ struct RunConfig {
   SimTime deadline = 60_s;
   /// Reference per-thread footprint for compute-rate scaling (0 = off).
   std::uint64_t ref_footprint = 0;
+  /// Event tracing; when enabled the result carries the merged trace.
+  trace::TraceConfig trace;
 };
 
 struct RunResult {
@@ -38,6 +43,10 @@ struct RunResult {
   sched::SchedStats stats;
   core::BwdAccuracy bwd;
   bool pinned_violation = false;
+  /// Unblock -> first-run latency distribution (always collected).
+  Histogram wakeup_latency;
+  /// Merged event trace; null unless cfg.trace.enabled.
+  std::shared_ptr<trace::Trace> trace;
 };
 
 /// Builds a kernel per `cfg`, lets `setup` spawn the workload, runs to

@@ -49,6 +49,10 @@ struct SchedEntity {
   /// Runqueue (core id) this entity is on; -1 if none.
   int cpu = -1;
 
+  /// Owning task's id, mirrored here so runqueue-level trace records can be
+  /// labeled without reaching into the kern layer.
+  std::int32_t tid = 0;
+
   /// Pinned entities are never migrated by the balancer.
   bool pinned = false;
 

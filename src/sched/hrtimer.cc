@@ -17,6 +17,7 @@ void RepeatingTimer::start(sim::Engine* engine, SimDuration period,
     event_ = sim::kInvalidEvent;
     // Re-arm before the callback so the callback may stop() the timer.
     arm_next();
+    trace_fire();
     fn_();
   });
 }
@@ -26,8 +27,15 @@ void RepeatingTimer::arm_next() {
   event_ = engine_->schedule_after(period_, [this] {
     event_ = sim::kInvalidEvent;
     arm_next();
+    trace_fire();
     fn_();
   });
+}
+
+void RepeatingTimer::trace_fire() {
+  EO_TRACE_EVENT(tracer_, trace_core_, trace::EventKind::kTimerFire, 0,
+                 static_cast<std::uint64_t>(trace_id_),
+                 static_cast<std::uint64_t>(period_));
 }
 
 void RepeatingTimer::stop() {

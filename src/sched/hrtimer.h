@@ -9,8 +9,16 @@
 
 #include "common/units.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace eo::sched {
+
+/// Identifies a timer in kTimerFire trace records (arg0).
+enum class TimerId : std::uint64_t {
+  kBalance = 0,
+  kBwd = 1,
+  kOther = 2,
+};
 
 class RepeatingTimer {
  public:
@@ -19,6 +27,14 @@ class RepeatingTimer {
 
   RepeatingTimer(const RepeatingTimer&) = delete;
   RepeatingTimer& operator=(const RepeatingTimer&) = delete;
+
+  /// Wires the event tracer: every fire emits a kTimerFire record tagged
+  /// with `id` on `core`. Survives stop()/start() cycles (core offlining).
+  void set_trace(trace::Tracer* tracer, int core, TimerId id) {
+    tracer_ = tracer;
+    trace_core_ = core;
+    trace_id_ = id;
+  }
 
   /// Arms the timer: first fire at now + offset + period, then every period.
   /// The callback runs inside the engine event; re-arming is automatic.
@@ -33,11 +49,16 @@ class RepeatingTimer {
  private:
   void arm_next();
 
+  void trace_fire();
+
   sim::Engine* engine_ = nullptr;
   SimDuration period_ = 0;
   std::function<void()> fn_;
   sim::EventId event_ = sim::kInvalidEvent;
   bool armed_ = false;
+  trace::Tracer* tracer_ = nullptr;
+  int trace_core_ = -1;
+  TimerId trace_id_ = TimerId::kOther;
 };
 
 }  // namespace eo::sched

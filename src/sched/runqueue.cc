@@ -25,6 +25,9 @@ void Runqueue::enqueue(SchedEntity* se, bool wakeup) {
   }
   tree_.insert(se);
   ++nr_running_;
+  EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kEnqueue, se->tid,
+                 static_cast<std::uint64_t>(nr_running_),
+                 static_cast<std::uint64_t>(se->vruntime));
 }
 
 void Runqueue::dequeue(SchedEntity* se) {
@@ -36,6 +39,9 @@ void Runqueue::dequeue(SchedEntity* se) {
   --nr_running_;
   if (se->vb_blocked) --nr_vb_blocked_;
   update_min_vruntime();
+  EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kDequeue, se->tid,
+                 static_cast<std::uint64_t>(nr_running_),
+                 static_cast<std::uint64_t>(se->vruntime));
 }
 
 SchedEntity* Runqueue::pick_next() {
@@ -53,6 +59,8 @@ SchedEntity* Runqueue::pick_next() {
           static_cast<std::uint64_t>(std::max(1, nr_schedulable() - 1));
       if (pick_seq_ - e->bwd_skip_seq > others) {
         e->bwd_skip = false;
+        EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kBwdSkipClear, e->tid,
+                       pick_seq_, 0);
         chosen = e;
         break;
       }
@@ -69,12 +77,17 @@ SchedEntity* Runqueue::pick_next() {
     // condition is vacuously met; clear flags and take the leftmost.
     for (SchedEntity* e = tree_.leftmost(); e != nullptr; e = tree_.next(e)) {
       e->bwd_skip = false;
+      EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kBwdSkipClear, e->tid,
+                     pick_seq_, 1);
     }
     chosen = tree_.leftmost();
   }
   if (chosen == nullptr) return nullptr;
   tree_.erase(chosen);
   curr_ = chosen;
+  EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kPickNext, chosen->tid,
+                 static_cast<std::uint64_t>(nr_running_),
+                 static_cast<std::uint64_t>(chosen->vruntime));
   return chosen;
 }
 
@@ -115,6 +128,9 @@ void Runqueue::vb_park(SchedEntity* se) {
   tree_.insert(se);
   ++nr_vb_blocked_;
   update_min_vruntime();
+  EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kVbPark, se->tid,
+                 static_cast<std::uint64_t>(se->saved_vruntime),
+                 static_cast<std::uint64_t>(nr_vb_blocked_));
 }
 
 void Runqueue::vb_unpark(SchedEntity* se) {
@@ -130,6 +146,8 @@ void Runqueue::vb_unpark(SchedEntity* se) {
   tree_.insert(se);
   --nr_vb_blocked_;
   update_min_vruntime();
+  EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kVbClear, se->tid,
+                 static_cast<std::uint64_t>(se->vruntime), 0);
 }
 
 void Runqueue::vb_clear_current(SchedEntity* se) {
@@ -140,6 +158,8 @@ void Runqueue::vb_clear_current(SchedEntity* se) {
       std::max(se->saved_vruntime, min_vruntime_ - params_->sleeper_bonus);
   --nr_vb_blocked_;
   update_min_vruntime();
+  EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kVbClear, se->tid,
+                 static_cast<std::uint64_t>(se->vruntime), 1);
 }
 
 std::vector<SchedEntity*> Runqueue::detach_all() {

@@ -19,6 +19,7 @@
 #include "sched/cfs.h"
 #include "sched/entity.h"
 #include "sched/rbtree.h"
+#include "trace/trace.h"
 
 namespace eo::sched {
 
@@ -27,6 +28,9 @@ class Runqueue {
   Runqueue(int cpu, const CfsParams* params) : cpu_(cpu), params_(params) {}
 
   int cpu() const { return cpu_; }
+
+  /// Wires the event tracer (may be null; the kernel sets it at boot).
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
   /// Runnable entities including the one currently running and any
   /// VB-blocked parked entities (VB keeps them on the queue — that is the
@@ -98,6 +102,7 @@ class Runqueue {
 
   int cpu_;
   const CfsParams* params_;
+  trace::Tracer* tracer_ = nullptr;
   RbTree<SchedEntity, &SchedEntity::rb, ByVruntime> tree_;
   SchedEntity* curr_ = nullptr;
   std::int64_t min_vruntime_ = 0;

@@ -1,0 +1,427 @@
+#include "trace/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace eo::trace {
+
+namespace {
+
+/// Microsecond timestamp with nanosecond precision, as Chrome expects.
+std::string us(SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_json(const Trace& t, std::ostream& os) {
+  std::map<std::int32_t, std::string> names(t.task_names.begin(),
+                                            t.task_names.end());
+  auto task_label = [&](std::int32_t tid) {
+    auto it = names.find(tid);
+    if (it == names.end()) return std::string("tid") + std::to_string(tid);
+    return it->second + "/" + std::to_string(tid);
+  };
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Metadata: one process, one named thread lane per core plus an ambient
+  // lane for IRQ-context events.
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"sim-kernel\"}}";
+  for (int c = 0; c <= t.n_cores; ++c) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << c + 1
+       << ",\"args\":{\"name\":\""
+       << (c < t.n_cores ? "core " + std::to_string(c) : std::string("irq"))
+       << "\"}}";
+  }
+
+  // Lane for a record: cores at tid 1..N, ambient at N+1.
+  auto lane = [&](const TraceEvent& e) {
+    const int c = e.core >= 0 && e.core < t.n_cores ? e.core : t.n_cores;
+    return c + 1;
+  };
+
+  // Run slices: pair switch_in with the next switch_out on the same core.
+  std::vector<SimTime> slice_start(static_cast<std::size_t>(t.n_cores) + 1, -1);
+  std::vector<std::int32_t> slice_tid(static_cast<std::size_t>(t.n_cores) + 1,
+                                      0);
+  for (const TraceEvent& e : t.events) {
+    const auto l = static_cast<std::size_t>(lane(e)) - 1;
+    const auto kind = static_cast<EventKind>(e.kind);
+    if (kind == EventKind::kSwitchIn) {
+      slice_start[l] = e.ts;
+      slice_tid[l] = e.tid;
+      continue;
+    }
+    if (kind == EventKind::kSwitchOut && slice_start[l] >= 0) {
+      sep();
+      os << "{\"name\":\"" << json_escape(task_label(slice_tid[l]))
+         << "\",\"ph\":\"X\",\"ts\":" << us(slice_start[l])
+         << ",\"dur\":" << us(e.ts - slice_start[l]) << ",\"pid\":0,\"tid\":"
+         << l + 1 << ",\"args\":{\"vruntime\":" << e.arg0
+         << ",\"voluntary\":" << e.arg1 << "}}";
+      slice_start[l] = -1;
+      continue;
+    }
+    if (kind == EventKind::kEnqueue || kind == EventKind::kDequeue) {
+      // Runqueue depth as a counter track per core.
+      sep();
+      os << "{\"name\":\"rq_depth core" << (e.core >= 0 ? e.core : -1)
+         << "\",\"ph\":\"C\",\"ts\":" << us(e.ts)
+         << ",\"pid\":0,\"args\":{\"nr_running\":" << e.arg0 << "}}";
+      continue;
+    }
+    // Everything else: a thread-scoped instant on its core lane.
+    sep();
+    os << "{\"name\":\"" << to_string(kind)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << us(e.ts)
+       << ",\"pid\":0,\"tid\":" << lane(e) << ",\"args\":{\"task\":\""
+       << json_escape(task_label(e.tid)) << "\",\"arg0\":" << e.arg0
+       << ",\"arg1\":" << e.arg1 << "}}";
+  }
+  os << "\n],\"otherData\":{\"dropped_events\":\"" << t.dropped << "\"}}\n";
+}
+
+void write_csv(const Trace& t, std::ostream& os) {
+  os << "ts_ns,core,kind,kind_name,tid,arg0,arg1\n";
+  for (const TraceEvent& e : t.events) {
+    os << e.ts << ',' << e.core << ',' << e.kind << ','
+       << to_string(static_cast<EventKind>(e.kind)) << ',' << e.tid << ','
+       << e.arg0 << ',' << e.arg1 << '\n';
+  }
+}
+
+std::string render(const Trace& t, const std::string& format) {
+  std::ostringstream os;
+  if (format == "csv") {
+    write_csv(t, os);
+  } else {
+    write_chrome_json(t, os);
+  }
+  return os.str();
+}
+
+bool export_to_file(const Trace& t, const std::string& path,
+                    const std::string& format, std::string* err) {
+  const std::string text = render(t, format);
+  if (format != "csv" && !validate_chrome_trace_json(text, err)) return false;
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (err != nullptr) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  f << text;
+  f.close();
+  if (!f) {
+    if (err != nullptr) *err = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser for the validator. Parses the full grammar (objects,
+// arrays, strings with escapes, numbers, true/false/null); the caller then
+// checks the trace-event envelope on a pared-down DOM.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject } type = kNull;
+  std::string str;                 // kString
+  double num = 0;                  // kNumber
+  bool b = false;                  // kBool
+  std::vector<JsonValue> items;    // kArray
+  JsonObject fields;               // kObject
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out, std::string* err) {
+    skip_ws();
+    if (!value(out)) {
+      if (err != nullptr) {
+        *err = "JSON parse error near offset " + std::to_string(pos_) + ": " +
+               err_;
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      if (err != nullptr) {
+        *err = "trailing garbage at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->type = JsonValue::kString;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->type = JsonValue::kBool;
+      out->b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::kBool;
+      out->b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->type = JsonValue::kNull;
+      return literal("null");
+    }
+    return number(out);
+  }
+
+  bool object(JsonValue* out) {
+    out->type = JsonValue::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return fail("expected object key");
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->fields.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue* out) {
+    out->type = JsonValue::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+        case 'f':
+          out->push_back(' ');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("short \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          out->push_back('?');  // validation only needs well-formedness
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    out->num = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    out->type = JsonValue::kNumber;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool validate_chrome_trace_json(const std::string& text, std::string* err) {
+  JsonValue root;
+  if (!JsonParser(text).parse(&root, err)) return false;
+  if (root.type != JsonValue::kObject) {
+    if (err != nullptr) *err = "root is not an object";
+    return false;
+  }
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || events->type != JsonValue::kArray) {
+    if (err != nullptr) *err = "missing traceEvents array";
+    return false;
+  }
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& e = events->items[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (e.type != JsonValue::kObject) {
+      if (err != nullptr) *err = at + " is not an object";
+      return false;
+    }
+    const JsonValue* ph = e.get("ph");
+    const JsonValue* name = e.get("name");
+    if (ph == nullptr || ph->type != JsonValue::kString || ph->str.empty()) {
+      if (err != nullptr) *err = at + " lacks a string \"ph\"";
+      return false;
+    }
+    if (name == nullptr || name->type != JsonValue::kString) {
+      if (err != nullptr) *err = at + " lacks a string \"name\"";
+      return false;
+    }
+    if (ph->str != "M") {  // metadata events carry no timestamp
+      const JsonValue* ts = e.get("ts");
+      if (ts == nullptr || ts->type != JsonValue::kNumber || ts->num < 0) {
+        if (err != nullptr) *err = at + " lacks a non-negative numeric \"ts\"";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace eo::trace

@@ -1,0 +1,89 @@
+#include "trace/timeline.h"
+
+namespace eo::trace {
+
+TimelineStats TimelineAnalyzer::analyze(const Trace& trace) {
+  TimelineStats s;
+  s.events = trace.events.size();
+  s.rq_depth.resize(static_cast<std::size_t>(trace.n_cores));
+  if (!trace.events.empty()) {
+    s.span_begin = trace.events.front().ts;
+    s.span_end = trace.events.back().ts;
+  }
+
+  // tid -> time it last became runnable after an unblock, awaiting its
+  // first run. Re-wakes before a run overwrite, matching the kernel's
+  // single `runnable_since` slot.
+  std::map<std::int32_t, SimTime> pending_wake;
+
+  for (const TraceEvent& e : trace.events) {
+    switch (static_cast<EventKind>(e.kind)) {
+      case EventKind::kSwitchIn:
+        ++s.switch_in;
+        if (e.arg1 != 0) ++s.context_switches;
+        break;
+      case EventKind::kWakeup:
+        ++s.wakeups;
+        pending_wake[e.tid] = e.ts;
+        break;
+      case EventKind::kRunAfterWake: {
+        auto it = pending_wake.find(e.tid);
+        if (it != pending_wake.end()) {
+          s.wakeup_latency.add(e.ts - it->second);
+          pending_wake.erase(it);
+        }
+        break;
+      }
+      case EventKind::kMigration:
+        ++s.migrations;
+        break;
+      case EventKind::kEnqueue:
+      case EventKind::kDequeue:
+        if (e.core >= 0 && e.core < trace.n_cores) {
+          s.rq_depth[static_cast<std::size_t>(e.core)].push_back(
+              RqDepthPoint{e.ts, e.arg0});
+        }
+        break;
+      case EventKind::kFutexWait:
+        ++s.futex_waits;
+        break;
+      case EventKind::kFutexWake:
+        ++s.futex_wakes;
+        break;
+      case EventKind::kFutexBucketLock:
+        s.bucket_lock_wait.add(static_cast<std::int64_t>(e.arg0));
+        break;
+      case EventKind::kEpollWait:
+        ++s.epoll_waits;
+        break;
+      case EventKind::kEpollPost:
+        ++s.epoll_posts;
+        break;
+      case EventKind::kVbPark:
+        ++s.vb_parks;
+        break;
+      case EventKind::kVbClear:
+        ++s.vb_clears;
+        break;
+      case EventKind::kVbSkipQuantum:
+        ++s.vb_skip_quanta;
+        ++s.vb_skips_by_tid[e.tid];
+        break;
+      case EventKind::kBwdSample:
+        ++s.bwd_samples;
+        break;
+      case EventKind::kBwdDesched:
+        ++s.bwd_desched;
+        (e.arg0 != 0 ? s.bwd_desched_true : s.bwd_desched_false)++;
+        break;
+      case EventKind::kBwdSkipClear:
+        ++s.bwd_skip_clears;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace eo::trace

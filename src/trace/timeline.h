@@ -1,0 +1,84 @@
+// Offline timeline analysis of an exported trace.
+//
+// `TimelineAnalyzer` replays a merged event stream and re-derives the
+// paper's own metrics from first principles — independently of the kernel's
+// live counters. That independence is the point: a bench's reported numbers
+// can be cross-checked against the event-level schedule that produced them
+// (the trace tests assert the two agree), and a trace captured from any run
+// can be mined for the same statistics after the fact.
+//
+// Derived metrics:
+//  * wakeup-latency histogram — unblock (wakeup/vb_clear) to first run;
+//  * per-core runqueue-depth timeline — from enqueue/dequeue records;
+//  * context-switch / wakeup / futex / vb counts — replayed, comparable
+//    against sched::SchedStats;
+//  * VB flag-check (skip) quanta per task;
+//  * BWD deschedules split into true and false positives using the
+//    ground-truth bit carried by the bwd_desched record;
+//  * futex bucket-lock wait histogram — the paper's lock-serialization cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+#include "trace/trace.h"
+
+namespace eo::trace {
+
+/// One sample of a core's runqueue depth (nr_running after the change).
+struct RqDepthPoint {
+  SimTime ts = 0;
+  std::uint64_t depth = 0;
+};
+
+struct TimelineStats {
+  std::uint64_t events = 0;
+
+  // Scheduling.
+  std::uint64_t switch_in = 0;          ///< every on-core interval
+  std::uint64_t context_switches = 0;   ///< real switches (task changed)
+  std::uint64_t wakeups = 0;
+  std::uint64_t migrations = 0;
+
+  // Blocking.
+  std::uint64_t futex_waits = 0;
+  std::uint64_t futex_wakes = 0;
+  std::uint64_t epoll_waits = 0;
+  std::uint64_t epoll_posts = 0;
+
+  // Virtual blocking.
+  std::uint64_t vb_parks = 0;
+  std::uint64_t vb_clears = 0;
+  std::uint64_t vb_skip_quanta = 0;
+  std::map<std::int32_t, std::uint64_t> vb_skips_by_tid;
+
+  // Busy-waiting detection.
+  std::uint64_t bwd_samples = 0;
+  std::uint64_t bwd_desched = 0;
+  std::uint64_t bwd_desched_true = 0;   ///< window was genuinely pure spin
+  std::uint64_t bwd_desched_false = 0;
+  std::uint64_t bwd_skip_clears = 0;
+
+  /// Unblock -> first-run latency, paired from wakeup/run_after_wake records.
+  Histogram wakeup_latency;
+  /// Futex bucket-lock queueing delay per acquisition.
+  Histogram bucket_lock_wait;
+
+  /// Per-core runqueue-depth samples, time-ordered.
+  std::vector<std::vector<RqDepthPoint>> rq_depth;
+
+  SimTime span_begin = 0;
+  SimTime span_end = 0;
+};
+
+class TimelineAnalyzer {
+ public:
+  /// Replays `trace` (events must be time-ordered, as `Tracer::snapshot`
+  /// produces) and derives the statistics above.
+  static TimelineStats analyze(const Trace& trace);
+};
+
+}  // namespace eo::trace

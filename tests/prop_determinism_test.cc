@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "metrics/experiment.h"
+#include "trace/export.h"
 #include "workloads/memcached.h"
 #include "workloads/mutilate.h"
 #include "workloads/suite.h"
@@ -75,6 +76,36 @@ TEST(Determinism, MemcachedRunsReproduce) {
   EXPECT_EQ(a.first, b.first);
   EXPECT_DOUBLE_EQ(a.second, b.second);
 }
+
+#if defined(EO_TRACE_ENABLED)
+// The tracing property from src/trace/trace.h: a trace is a pure function of
+// the simulation, so identical seeds export byte-identical files.
+TEST(Determinism, IdenticalSeedByteIdenticalTrace) {
+  const auto& spec = workloads::find_benchmark("ocean");
+  auto render = [&] {
+    RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 2;
+    rc.seed = 7;
+    rc.features = core::Features::optimized();
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 300_s;
+    rc.trace.enabled = true;
+    rc.trace.ring_capacity = 1u << 20;
+    const auto r = run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, 16, 42, 0.05);
+    });
+    EXPECT_TRUE(r.trace != nullptr);
+    EXPECT_FALSE(r.trace->events.empty());
+    return std::make_pair(trace::render(*r.trace, "json"),
+                          trace::render(*r.trace, "csv"));
+  };
+  const auto a = render();
+  const auto b = render();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+#endif  // EO_TRACE_ENABLED
 
 TEST(Determinism, SeedChangesPerturbStochasticRuns) {
   const auto& spec = workloads::find_benchmark("facesim");  // jittered
