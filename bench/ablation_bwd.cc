@@ -5,8 +5,9 @@
 //      three; the misses distinguish ordinary code whose recent branches
 //      happen to be uniform. We measure sensitivity/specificity per combo.
 //  (2) Timer-interval sweep: detection latency vs timer overhead.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/microbench.h"
 #include "workloads/suite.h"
 
@@ -19,123 +20,188 @@ struct Combo {
   bool lbr, l1, tlb;
 };
 
+const std::vector<Combo> kCombos = {
+    {"lbr-only", true, false, false},
+    {"lbr+l1", true, true, false},
+    {"lbr+tlb", true, false, true},
+    {"all-three", true, true, true},
+    {"misses-only", false, true, true},
+};
+
+const std::vector<SimDuration> kIntervals = {25_us, 50_us, 100_us,
+                                             200_us, 400_us, 800_us};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.3);
-  bench::print_header("Ablation (BWD)", "heuristic combinations");
+  const bench::CliSpec spec{
+      .id = "ablation_bwd",
+      .summary = "BWD heuristic-combination and timer-interval ablations",
+      .default_scale = 0.3};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  const double scale = cli.scale;
+
+  // Sweep 1: heuristic combinations, each measured for sensitivity (spin
+  // pair on one core) and specificity (blocking "is" at 32T on 8 cores).
+  std::vector<std::string> combo_labels;
+  for (const auto& c : kCombos) combo_labels.emplace_back(c.label);
+  exp::Sweep sweep_h("heuristics");
   {
-    const std::vector<Combo> combos = {
-        {"lbr-only", true, false, false},
-        {"lbr+l1", true, true, false},
-        {"lbr+tlb", true, false, true},
-        {"all-three", true, true, true},
-        {"misses-only", false, true, true},
-    };
-    struct Out {
-      double sens = 0, spec = 0;
-    };
-    std::vector<Out> out(combos.size());
-    ThreadPool::parallel_for(combos.size() * 2, [&](std::size_t job) {
-      const auto ci = job / 2;
-      const bool sens_run = job % 2 == 0;
-      core::Features f = core::Features::optimized();
-      f.vb_futex = f.vb_epoll = false;
-      f.bwd_use_lbr = combos[ci].lbr;
-      f.bwd_use_l1 = combos[ci].l1;
-      f.bwd_use_tlb = combos[ci].tlb;
-      metrics::RunConfig rc;
-      rc.features = f;
-      rc.deadline = 600_s;
-      if (sens_run) {
-        rc.cpus = 1;
-        rc.sockets = 1;
-        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-          auto lock = std::shared_ptr<locks::SpinLock>(locks::make_spinlock(
-              locks::SpinLockKind::kTicket, k, 2));
-          workloads::spawn_tp_pair(
-              k, lock, static_cast<SimDuration>(1_s * scale));
-        });
-        out[ci].sens = r.bwd.sensitivity() * 100.0;
-      } else {
+    metrics::RunConfig base;
+    base.deadline = 600_s;
+    sweep_h.base(base)
+        .axis("combo", combo_labels,
+              [](metrics::RunConfig& rc, std::size_t ci) {
+                core::Features f = core::Features::optimized();
+                f.vb_futex = f.vb_epoll = false;
+                f.bwd_use_lbr = kCombos[ci].lbr;
+                f.bwd_use_l1 = kCombos[ci].l1;
+                f.bwd_use_tlb = kCombos[ci].tlb;
+                rc.features = f;
+              })
+        .axis("measure", {"sensitivity", "specificity"});
+  }
+
+  // Sweep 2: monitoring-interval sweep, with a no-BWD reference cell for the
+  // timer-overhead column.
+  std::vector<std::string> interval_labels;
+  for (const auto iv : kIntervals) {
+    interval_labels.push_back(std::to_string(iv / 1000) + "us");
+  }
+  exp::Sweep sweep_b("interval_baseline");
+  {
+    metrics::RunConfig base;
+    base.cpus = 8;
+    base.sockets = 2;
+    base.deadline = 600_s;
+    sweep_b.base(base).axis("reference", {"ft-8T-nobwd"});
+  }
+  exp::Sweep sweep_i("interval");
+  {
+    metrics::RunConfig base;
+    base.cpus = 8;
+    base.sockets = 2;
+    base.deadline = 2000_s;
+    sweep_i.base(base)
+        .axis("interval", interval_labels,
+              [](metrics::RunConfig& rc, std::size_t ii) {
+                core::Features f;
+                f.bwd = true;
+                f.bwd_interval = kIntervals[ii];
+                rc.features = f;
+              })
+        .axis("measure", {"lock", "overhead"});
+  }
+
+  exp::ExperimentRunner runner_h(sweep_h, cli.runner_options());
+  exp::ExperimentRunner runner_b(sweep_b, cli.runner_options());
+  exp::ExperimentRunner runner_i(sweep_i, cli.runner_options());
+  if (cli.list) {
+    runner_h.list(std::cout);
+    runner_b.list(std::cout);
+    runner_i.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Ablation (BWD)", "heuristic combinations");
+  exp::Outcomes out_h = runner_h.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const bool sens_run = cell.at(1) == 0;
+        metrics::RunConfig rc = cfg;
+        if (sens_run) {
+          rc.cpus = 1;
+          rc.sockets = 1;
+          exp::CellRun r(metrics::run_experiment(rc, [&](kern::Kernel& k) {
+            auto lock = std::shared_ptr<locks::SpinLock>(locks::make_spinlock(
+                locks::SpinLockKind::kTicket, k, 2));
+            workloads::spawn_tp_pair(
+                k, lock, static_cast<SimDuration>(1_s * scale));
+          }));
+          r.set("sensitivity_pct", r.run.bwd.sensitivity() * 100.0);
+          return r;
+        }
         rc.cpus = 8;
         rc.sockets = 2;
-        const auto& spec = workloads::find_benchmark("is");
-        rc.ref_footprint = spec.ref_footprint();
-        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-          workloads::spawn_benchmark(k, spec, 32, 7, scale);
-        });
-        out[ci].spec = r.bwd.specificity() * 100.0;
-      }
-    });
-    metrics::TablePrinter t({"heuristics", "sensitivity(%)", "specificity(%)"});
-    for (std::size_t ci = 0; ci < combos.size(); ++ci) {
-      t.add_row({combos[ci].label, metrics::TablePrinter::num(out[ci].sens),
-                 metrics::TablePrinter::num(out[ci].spec)});
+        const auto& bspec = workloads::find_benchmark("is");
+        rc.ref_footprint = bspec.ref_footprint();
+        exp::CellRun r(metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, bspec, 32, cli.seed, scale);
+        }));
+        r.set("specificity_pct", r.run.bwd.specificity() * 100.0);
+        return r;
+      });
+  {
+    metrics::TablePrinter t(
+        {"heuristics", "sensitivity(%)", "specificity(%)"});
+    for (std::size_t ci = 0; ci < kCombos.size(); ++ci) {
+      const exp::CellOutcome& sens = out_h.at({ci, 0});
+      const exp::CellOutcome& spc = out_h.at({ci, 1});
+      t.add_row({kCombos[ci].label,
+                 sens.ran()
+                     ? metrics::TablePrinter::num(sens.value("sensitivity_pct"))
+                     : "-",
+                 spc.ran()
+                     ? metrics::TablePrinter::num(spc.value("specificity_pct"))
+                     : "-"});
     }
     t.print();
   }
 
   bench::print_header("Ablation (BWD)", "monitoring interval sweep");
-  {
-    const std::vector<SimDuration> intervals = {25_us, 50_us, 100_us, 200_us,
-                                                400_us, 800_us};
-    struct Out {
-      double lock_ms = 0, overhead_pct = 0;
-    };
-    std::vector<Out> out(intervals.size());
-    double baseline_ms = 0;
-    {
-      // No-BWD reference for the timer-overhead column.
-      metrics::RunConfig rc;
-      rc.cpus = 8;
-      rc.sockets = 2;
-      rc.deadline = 600_s;
-      const auto& spec = workloads::find_benchmark("ft");
-      rc.ref_footprint = spec.ref_footprint();
-      const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-        workloads::spawn_benchmark(k, spec, 8, 7, scale);
-      });
-      baseline_ms = to_ms(r.exec_time);
-    }
-    ThreadPool::parallel_for(intervals.size() * 2, [&](std::size_t job) {
-      const auto ii = job / 2;
-      const bool lock_run = job % 2 == 0;
-      core::Features f;
-      f.bwd = true;
-      f.bwd_interval = intervals[ii];
-      metrics::RunConfig rc;
-      rc.features = f;
-      rc.cpus = 8;
-      rc.sockets = 2;
-      rc.deadline = 2000_s;
-      if (lock_run) {
-        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-          auto lock = std::shared_ptr<locks::SpinLock>(locks::make_spinlock(
-              locks::SpinLockKind::kTicket, k, 32));
-          workloads::spawn_lock_contention(
-              k, lock, 32, std::max(50, static_cast<int>(800 * scale)), 5_us,
-              15_us);
-        });
-        out[ii].lock_ms = to_ms(r.exec_time);
-      } else {
-        const auto& spec = workloads::find_benchmark("ft");
-        rc.ref_footprint = spec.ref_footprint();
-        const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-          workloads::spawn_benchmark(k, spec, 8, 7, scale);
-        });
-        out[ii].overhead_pct =
-            (to_ms(r.exec_time) - baseline_ms) / baseline_ms * 100.0;
-      }
+  const auto run_ft = [&](const metrics::RunConfig& cfg) {
+    const auto& bspec = workloads::find_benchmark("ft");
+    metrics::RunConfig rc = cfg;
+    rc.ref_footprint = bspec.ref_footprint();
+    return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, bspec, 8, cli.seed, scale);
     });
+  };
+  exp::Outcomes out_b = runner_b.run(
+      [&](const exp::Cell&, const metrics::RunConfig& cfg) {
+        return run_ft(cfg);
+      });
+  const bool have_baseline = out_b.at({0}).ran();
+  const double baseline_ms = have_baseline ? out_b.at({0}).ms() : 0.0;
+
+  exp::Outcomes out_i = runner_i.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const bool lock_run = cell.at(1) == 0;
+        if (lock_run) {
+          return exp::CellRun(
+              metrics::run_experiment(cfg, [&](kern::Kernel& k) {
+                auto lock = std::shared_ptr<locks::SpinLock>(
+                    locks::make_spinlock(locks::SpinLockKind::kTicket, k, 32));
+                workloads::spawn_lock_contention(
+                    k, lock, 32, std::max(50, static_cast<int>(800 * scale)),
+                    5_us, 15_us);
+              }));
+        }
+        return exp::CellRun(run_ft(cfg));
+      });
+  // Timer overhead relative to the no-BWD reference.
+  for (std::size_t ii = 0; ii < kIntervals.size() && have_baseline; ++ii) {
+    exp::CellOutcome& o = out_i.at({ii, 1});
+    if (!o.ran() || baseline_ms <= 0) continue;
+    o.set("overhead_pct", (o.ms() - baseline_ms) / baseline_ms * 100.0);
+  }
+  {
     metrics::TablePrinter t({"interval(us)", "ticket-lock 32T (ms)",
                              "timer overhead on ft 8T (%)"});
-    for (std::size_t ii = 0; ii < intervals.size(); ++ii) {
-      t.add_row({std::to_string(intervals[ii] / 1000),
-                 metrics::TablePrinter::num(out[ii].lock_ms, 1),
-                 metrics::TablePrinter::num(out[ii].overhead_pct)});
+    for (std::size_t ii = 0; ii < kIntervals.size(); ++ii) {
+      const exp::CellOutcome& lock = out_i.at({ii, 0});
+      const exp::CellOutcome& ovh = out_i.at({ii, 1});
+      t.add_row({std::to_string(kIntervals[ii] / 1000),
+                 lock.ran() ? metrics::TablePrinter::num(lock.ms(), 1) : "-",
+                 ovh.ran() && have_baseline
+                     ? metrics::TablePrinter::num(ovh.value("overhead_pct"))
+                     : "-"});
     }
     t.print();
   }
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep_h, out_h);
+  doc.add_sweep(sweep_b, out_b);
+  doc.add_sweep(sweep_i, out_i);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

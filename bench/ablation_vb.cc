@@ -4,68 +4,121 @@
 //      get dedicated cores on wakeup.
 //  (2) flag-check quantum sweep: the quantum trades responsiveness when all
 //      threads on a core are parked against switch churn.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/microbench.h"
 
 using namespace eo;
 
 namespace {
 
-double run_prim(workloads::SyncPrimitive prim, int threads, int cores,
-                core::Features f, core::CostModel costs, int iters) {
-  metrics::RunConfig rc;
-  rc.cpus = cores;
-  rc.sockets = cores > 8 ? 2 : 1;
-  rc.features = f;
-  rc.costs = costs;
-  rc.deadline = 600_s;
-  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-    workloads::spawn_sync_micro(k, threads, prim, iters);
-  });
-  return to_ms(r.exec_time);
-}
+const std::vector<workloads::SyncPrimitive> kPrims = {
+    workloads::SyncPrimitive::kMutex, workloads::SyncPrimitive::kBarrier,
+    workloads::SyncPrimitive::kCond};
+
+const std::vector<SimDuration> kQuanta = {250_ns, 500_ns, 1_us,
+                                          2_us,   5_us,   20_us};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.25);
-  const int iters = std::max(200, static_cast<int>(6000 * scale));
+  const bench::CliSpec spec{
+      .id = "ablation_vb",
+      .summary = "VB auto-disable and flag-check quantum ablations",
+      .default_scale = 0.25};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  const int iters = std::max(200, static_cast<int>(6000 * cli.scale));
+
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 1;
+  base.deadline = 600_s;
+
+  std::vector<std::string> prim_labels;
+  for (const auto p : kPrims) prim_labels.emplace_back(workloads::to_string(p));
+
+  exp::Sweep sweep_a("auto_disable");
+  sweep_a.base(base)
+      .axis("primitive", prim_labels)
+      .axis("policy", {"vanilla", "vb-auto", "vb-always"},
+            [](metrics::RunConfig& rc, std::size_t i) {
+              if (i == 0) {
+                rc.features = core::Features::vanilla();
+              } else {
+                rc.features = core::Features::optimized();
+                rc.features.vb_auto_disable = i == 1;
+              }
+            });
+
+  std::vector<std::string> quantum_labels;
+  for (const auto q : kQuanta) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fus",
+                  static_cast<double>(q) / 1000.0);
+    quantum_labels.emplace_back(buf);
+  }
+  exp::Sweep sweep_q("check_quantum");
+  {
+    metrics::RunConfig qbase = base;
+    qbase.features = core::Features::optimized();
+    sweep_q.base(qbase).axis("quantum", quantum_labels,
+                             [](metrics::RunConfig& rc, std::size_t i) {
+                               rc.costs.vb_check_quantum = kQuanta[i];
+                             });
+  }
+
+  exp::ExperimentRunner runner_a(sweep_a, cli.runner_options());
+  exp::ExperimentRunner runner_q(sweep_q, cli.runner_options());
+  if (cli.list) {
+    runner_a.list(std::cout);
+    runner_q.list(std::cout);
+    return 0;
+  }
 
   bench::print_header("Ablation (VB)", "auto-disable threshold");
+  const exp::Outcomes out_a = runner_a.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        return metrics::run_experiment(cfg, [&](kern::Kernel& k) {
+          workloads::spawn_sync_micro(k, 32, kPrims[cell.at(0)], iters);
+        });
+      });
   {
     metrics::TablePrinter t({"primitive", "vanilla(ms)", "VB+auto(ms)",
                              "VB-always(ms)"});
-    for (const auto prim : {workloads::SyncPrimitive::kMutex,
-                            workloads::SyncPrimitive::kBarrier,
-                            workloads::SyncPrimitive::kCond}) {
-      core::Features vb_auto = core::Features::optimized();
-      core::Features vb_always = core::Features::optimized();
-      vb_always.vb_auto_disable = false;
-      const double v =
-          run_prim(prim, 32, 8, core::Features::vanilla(), {}, iters);
-      const double a = run_prim(prim, 32, 8, vb_auto, {}, iters);
-      const double w = run_prim(prim, 32, 8, vb_always, {}, iters);
-      t.add_row({workloads::to_string(prim), metrics::TablePrinter::num(v, 1),
-                 metrics::TablePrinter::num(a, 1),
-                 metrics::TablePrinter::num(w, 1)});
+    for (std::size_t pi = 0; pi < kPrims.size(); ++pi) {
+      std::vector<std::string> row = {prim_labels[pi]};
+      for (std::size_t ci = 0; ci < 3; ++ci) {
+        const exp::CellOutcome& o = out_a.at({pi, ci});
+        row.push_back(o.ran() ? metrics::TablePrinter::num(o.ms(), 1) : "-");
+      }
+      t.add_row(row);
     }
     t.print();
   }
 
-  bench::print_header("Ablation (VB)", "flag-check quantum sweep (barrier, 32T/8c)");
+  bench::print_header("Ablation (VB)",
+                      "flag-check quantum sweep (barrier, 32T/8c)");
+  const exp::Outcomes out_q = runner_q.run(
+      [&](const exp::Cell&, const metrics::RunConfig& cfg) {
+        return metrics::run_experiment(cfg, [&](kern::Kernel& k) {
+          workloads::spawn_sync_micro(k, 32, workloads::SyncPrimitive::kBarrier,
+                                      iters);
+        });
+      });
   {
     metrics::TablePrinter t({"quantum(us)", "exec(ms)"});
-    for (const SimDuration q : {250_ns * 1, 500_ns * 1, 1_us, 2_us, 5_us, 20_us}) {
-      core::CostModel costs;
-      costs.vb_check_quantum = q;
-      const double ms =
-          run_prim(workloads::SyncPrimitive::kBarrier, 32, 8,
-                   core::Features::optimized(), costs, iters);
-      t.add_row({metrics::TablePrinter::num(static_cast<double>(q) / 1000.0, 2),
-                 metrics::TablePrinter::num(ms, 1)});
+    for (std::size_t qi = 0; qi < kQuanta.size(); ++qi) {
+      const exp::CellOutcome& o = out_q.at({qi});
+      t.add_row({metrics::TablePrinter::num(
+                     static_cast<double>(kQuanta[qi]) / 1000.0, 2),
+                 o.ran() ? metrics::TablePrinter::num(o.ms(), 1) : "-"});
     }
     t.print();
   }
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep_a, out_a);
+  doc.add_sweep(sweep_q, out_q);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

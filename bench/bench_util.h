@@ -1,25 +1,28 @@
 // Shared helpers for the bench harnesses.
 //
-// Every bench binary regenerates one table or figure from the paper. The
-// binaries take an optional positional argument: a duration scale factor
-// (default chosen per bench) that multiplies the simulated round counts, so
-// `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
-// keeps `for b in build/bench/*; do $b; done` quick.
+// Every bench binary regenerates one table or figure from the paper. All of
+// them share the `exp::Cli` command line (see src/exp/cli.h):
 //
-// Benches wired for tracing additionally accept:
-//   --trace=<path>         capture an event trace of one representative run
-//   --trace-format=json|csv  export format (default json, Perfetto-loadable)
-//   --trace-only           skip the figure grid, run only the traced config
+//   <bench> [scale] [--json=<path>] [--jobs=N] [--filter=<substr>] [--list]
+//           [--seed=N] [--trace=<path>] [--trace-format=json|csv]
+//           [--trace-only] [--help]
+//
+// The positional scale multiplies the simulated round counts, so
+// `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
+// keeps `for b in build/bench/*; do $b; done` quick. `--json` writes the
+// result grid as a schema-validated document (see src/exp/result.h).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "exp/cli.h"
+#include "exp/result.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
 #include "metrics/experiment.h"
 #include "metrics/table_printer.h"
 #include "trace/export.h"
@@ -28,65 +31,33 @@
 
 namespace eo::bench {
 
-inline double parse_scale(int argc, char** argv, double def) {
-  // Flags (--trace=...) may precede or follow the positional scale.
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i][0] == '-') continue;
-    const double s = std::atof(argv[i]);
-    if (s > 0) return s;
+using Cli = exp::Cli;
+using CliSpec = exp::CliSpec;
+
+/// Writes the result document when `--json` was given. Returns false (after
+/// printing the reason) if the document fails validation or the write fails;
+/// true when `--json` is off or the write succeeds.
+inline bool write_results(const Cli& cli, const exp::ResultDoc& doc) {
+  if (cli.json_path.empty()) return true;
+  std::string err;
+  if (!doc.write(cli.json_path, &err)) {
+    std::fprintf(stderr, "json: writing %s failed: %s\n",
+                 cli.json_path.c_str(), err.c_str());
+    return false;
   }
-  return def;
+  std::printf("json: wrote %s\n", cli.json_path.c_str());
+  return true;
 }
 
-/// Parsed command line for the trace-wired benches.
-struct BenchArgs {
-  double scale = 1.0;
-  std::string trace_path;  ///< empty = tracing off
-  std::string trace_format = "json";
-  bool trace_only = false;
-
-  bool tracing() const { return !trace_path.empty(); }
-};
-
-inline BenchArgs parse_args(int argc, char** argv, double def_scale) {
-  BenchArgs a;
-  a.scale = parse_scale(argc, argv, def_scale);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--trace=", 0) == 0) {
-      a.trace_path = arg.substr(8);
-      if (a.trace_path.empty()) {
-        std::fprintf(stderr,
-                     "warning: empty --trace= path, tracing stays off\n");
-      }
-    } else if (arg.rfind("--trace-format=", 0) == 0) {
-      a.trace_format = arg.substr(15);
-      if (a.trace_format != "json" && a.trace_format != "csv") {
-        std::fprintf(stderr,
-                     "error: --trace-format must be 'json' or 'csv' (got "
-                     "'%s')\n",
-                     a.trace_format.c_str());
-        std::exit(2);
-      }
-    } else if (arg == "--trace-only") {
-      a.trace_only = true;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "warning: unknown flag '%s' ignored\n",
-                   arg.c_str());
-    }
-  }
-  return a;
-}
-
-/// Exports the run's trace per `args` and cross-checks it: every kind in
-/// `required` must be present, and the TimelineAnalyzer's wakeup-latency
-/// quantiles must agree with the kernel's own histogram within 1%. Returns
-/// false (after printing the reason) on any failure; true when tracing is
-/// off or everything checks out.
+/// Exports the run's trace per the --trace* flags and cross-checks it: every
+/// kind in `required` must be present, and the TimelineAnalyzer's
+/// wakeup-latency quantiles must agree with the kernel's own histogram
+/// within 1%. Returns false (after printing the reason) on any failure; true
+/// when tracing is off or everything checks out.
 inline bool export_and_check_trace(
-    const metrics::RunResult& r, const BenchArgs& args,
+    const metrics::RunResult& r, const Cli& cli,
     std::initializer_list<trace::EventKind> required) {
-  if (!args.tracing()) return true;
+  if (!cli.tracing()) return true;
   if (!r.trace) {
     std::fprintf(stderr, "trace: run captured no trace (EO_TRACE=OFF build "
                          "or tracing not enabled on the run)\n");
@@ -94,14 +65,14 @@ inline bool export_and_check_trace(
   }
   const trace::Trace& tr = *r.trace;
   std::string err;
-  if (!trace::export_to_file(tr, args.trace_path, args.trace_format, &err)) {
+  if (!trace::export_to_file(tr, cli.trace_path, cli.trace_format, &err)) {
     std::fprintf(stderr, "trace: export failed: %s\n", err.c_str());
     return false;
   }
   std::printf("trace: wrote %zu events (%llu dropped) to %s [%s]\n",
               tr.events.size(),
               static_cast<unsigned long long>(tr.dropped),
-              args.trace_path.c_str(), args.trace_format.c_str());
+              cli.trace_path.c_str(), cli.trace_format.c_str());
 
   bool ok = true;
   std::vector<std::uint64_t> counts(

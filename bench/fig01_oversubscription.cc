@@ -3,50 +3,69 @@
 // Values are 32T execution time normalized to 8T; the paper's three groups
 // should appear: ~1.0 (unaffected), <1.0 (benefit), and >1 up to ~25x
 // (suffering; dedup/cholesky/lu are the annotated outliers).
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/suite.h"
 
 using namespace eo;
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.2);
-  bench::print_header("Figure 1", "normalized execution time, 32T vs 8T on 8 cores");
+  const bench::CliSpec spec{
+      .id = "fig01_oversubscription",
+      .summary = "normalized execution time, 32T vs 8T on 8 cores",
+      .default_scale = 0.2};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
 
   const auto& all = workloads::suite();
-  struct Row {
-    double t8 = 0, t32 = 0;
-  };
-  std::vector<Row> rows(all.size());
+  std::vector<std::string> names;
+  for (const auto& s : all) names.push_back(s.name);
 
-  ThreadPool::parallel_for(all.size() * 2, [&](std::size_t job) {
-    const auto& spec = all[job / 2];
-    const int threads = (job % 2 == 0) ? 8 : 32;
-    metrics::RunConfig rc;
-    rc.cpus = 8;
-    rc.sockets = 2;
-    rc.features = core::Features::vanilla();
-    rc.ref_footprint = spec.ref_footprint();
-    rc.deadline = 600_s;
-    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-      workloads::spawn_benchmark(k, spec, threads, /*seed=*/7, scale);
-    });
-    if (job % 2 == 0) {
-      rows[job / 2].t8 = to_ms(r.exec_time);
-    } else {
-      rows[job / 2].t32 = to_ms(r.exec_time);
-    }
-  });
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 2;
+  base.features = core::Features::vanilla();
+  base.deadline = 600_s;
+
+  exp::Sweep sweep("oversubscription");
+  sweep.base(base)
+      .axis("benchmark", names)
+      .axis("threads", {"8T", "32T"});
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Figure 1",
+                      "normalized execution time, 32T vs 8T on 8 cores");
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const auto& bspec = all[cell.at(0)];
+        const int threads = cell.at(1) == 0 ? 8 : 32;
+        metrics::RunConfig rc = cfg;
+        rc.ref_footprint = bspec.ref_footprint();
+        return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, bspec, threads, cli.seed, cli.scale);
+        });
+      });
 
   metrics::TablePrinter table(
       {"benchmark", "suite", "sync", "8T(ms)", "32T(ms)", "normalized"});
   for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& r8 = out.at({i, 0});
+    const auto& r32 = out.at({i, 1});
+    if (!r8.ran() || !r32.ran()) continue;
     table.add_row({all[i].name, all[i].origin,
                    workloads::to_string(all[i].sync),
-                   metrics::TablePrinter::num(rows[i].t8, 1),
-                   metrics::TablePrinter::num(rows[i].t32, 1),
-                   metrics::TablePrinter::num(rows[i].t32 / rows[i].t8)});
+                   metrics::TablePrinter::num(r8.ms(), 1),
+                   metrics::TablePrinter::num(r32.ms(), 1),
+                   metrics::TablePrinter::num(r32.ms() / r8.ms())});
   }
   table.print();
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

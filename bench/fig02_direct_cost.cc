@@ -4,6 +4,8 @@
 //      ~0.2%, flat in the thread count.
 //  (b) computation with synchronization: one shared atomic fetch-add per
 //      chunk adds no extra oversubscription overhead.
+#include <iostream>
+
 #include "bench_util.h"
 #include "workloads/microbench.h"
 
@@ -11,85 +13,107 @@ using namespace eo;
 
 namespace {
 
-struct Point {
-  int threads;
-  double norm;          // execution time normalized to 1 thread
-  double per_cs_us;     // measured direct cost per context switch
-};
-
-std::vector<Point> run_variant(bool with_atomic, SimDuration total_work,
-                               double scale) {
-  const auto work = static_cast<SimDuration>(total_work * scale);
-  std::vector<Point> out;
-  double t1 = 0;
-  for (int threads = 1; threads <= 8; ++threads) {
-    metrics::RunConfig rc;
-    rc.cpus = 1;
-    rc.sockets = 1;
-    rc.deadline = 600_s;
-    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-      if (with_atomic) {
-        workloads::spawn_compute_atomic(k, threads, work, 750_us);
-      } else {
-        workloads::spawn_compute_yield(k, threads, work, 750_us);
-      }
-    });
-    const double t = to_ms(r.exec_time);
-    if (threads == 1) t1 = t;
-    const auto switches = r.stats.context_switches;
-    const double per_cs =
-        switches > 0 ? (t - t1) * 1000.0 / static_cast<double>(switches) : 0.0;
-    out.push_back({threads, t / t1, per_cs});
-  }
-  return out;
-}
-
 // Traced configuration: 8 threads time-sharing one core with a shared
 // atomic per chunk — a dense stream of context switches and wakeups.
-bool run_traced(const bench::BenchArgs& args, double scale) {
+bool run_traced(const bench::Cli& cli) {
   metrics::RunConfig rc;
   rc.cpus = 1;
   rc.sockets = 1;
   rc.deadline = 600_s;
   rc.trace.enabled = true;
   rc.trace.ring_capacity = 1u << 20;
-  const auto work = static_cast<SimDuration>(2_s * scale);
+  const auto work = static_cast<SimDuration>(2_s * cli.scale);
   const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
     workloads::spawn_compute_atomic(k, 8, work, 750_us);
   });
   std::printf("traced run: 8T atomic-yield on 1 core exec=%s ms\n",
               bench::ms(r.exec_time).c_str());
   return bench::export_and_check_trace(
-      r, args, {trace::EventKind::kSwitchIn, trace::EventKind::kSwitchOut});
+      r, cli, {trace::EventKind::kSwitchIn, trace::EventKind::kSwitchOut});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv, 1.0);
-  const double scale = args.scale;
-  if (args.tracing()) {
-    if (!run_traced(args, scale)) return 1;
-    if (args.trace_only) return 0;
+  const bench::CliSpec spec{
+      .id = "fig02_direct_cost",
+      .summary = "direct context-switch cost, 1..8 threads on 1 core",
+      .default_scale = 1.0,
+      .supports_trace = true};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  if (cli.tracing()) {
+    if (!run_traced(cli)) return 1;
+    if (cli.trace_only) return 0;
   }
-  bench::print_header("Figure 2(a)", "pure computation, yield every 750us, 1 core");
-  {
+
+  metrics::RunConfig base;
+  base.cpus = 1;
+  base.sockets = 1;
+  base.deadline = 600_s;
+
+  std::vector<std::string> thread_labels;
+  for (int t = 1; t <= 8; ++t) thread_labels.push_back(std::to_string(t) + "T");
+
+  exp::Sweep sweep("direct_cost");
+  sweep.base(base)
+      .axis("variant", {"pure", "atomic"})
+      .axis("threads", thread_labels);
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  const auto work = static_cast<SimDuration>(2_s * cli.scale);
+  exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const bool with_atomic = cell.at(0) == 1;
+        const int threads = static_cast<int>(cell.at(1)) + 1;
+        return metrics::run_experiment(cfg, [&](kern::Kernel& k) {
+          if (with_atomic) {
+            workloads::spawn_compute_atomic(k, threads, work, 750_us);
+          } else {
+            workloads::spawn_compute_yield(k, threads, work, 750_us);
+          }
+        });
+      });
+
+  // Derived values: execution time normalized to the 1-thread cell of the
+  // same variant, and the measured direct cost per context switch.
+  for (std::size_t v = 0; v < 2; ++v) {
+    const exp::CellOutcome& base_cell = out.at({v, 0});
+    if (!base_cell.ran()) continue;
+    const double t1 = base_cell.ms();
+    for (std::size_t t = 0; t < thread_labels.size(); ++t) {
+      exp::CellOutcome& o = out.at({v, t});
+      if (!o.ran()) continue;
+      const auto switches = o.run.stats.context_switches;
+      o.set("normalized", o.ms() / t1);
+      o.set("per_cs_us", switches > 0 ? (o.ms() - t1) * 1000.0 /
+                                            static_cast<double>(switches)
+                                      : 0.0);
+    }
+  }
+
+  const auto print_variant = [&](std::size_t v, const char* header,
+                                 const char* what) {
+    bench::print_header(header, what);
     metrics::TablePrinter t({"threads", "normalized", "per-CS cost (us)"});
-    for (const auto& p : run_variant(false, 2_s, scale)) {
-      t.add_row({std::to_string(p.threads), metrics::TablePrinter::num(p.norm, 3),
-                 metrics::TablePrinter::num(p.per_cs_us)});
+    for (std::size_t i = 0; i < thread_labels.size(); ++i) {
+      const exp::CellOutcome& o = out.at({v, i});
+      if (!o.ran()) continue;
+      t.add_row({std::to_string(i + 1),
+                 metrics::TablePrinter::num(o.value("normalized"), 3),
+                 metrics::TablePrinter::num(o.value("per_cs_us"))});
     }
     t.print();
-  }
-  bench::print_header("Figure 2(b)",
-                      "computation with shared atomic fetch-add per chunk");
-  {
-    metrics::TablePrinter t({"threads", "normalized", "per-CS cost (us)"});
-    for (const auto& p : run_variant(true, 2_s, scale)) {
-      t.add_row({std::to_string(p.threads), metrics::TablePrinter::num(p.norm, 3),
-                 metrics::TablePrinter::num(p.per_cs_us)});
-    }
-    t.print();
-  }
-  return 0;
+  };
+  print_variant(0, "Figure 2(a)", "pure computation, yield every 750us, 1 core");
+  print_variant(1, "Figure 2(b)",
+                "computation with shared atomic fetch-add per chunk");
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

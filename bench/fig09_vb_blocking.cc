@@ -4,8 +4,9 @@
 // 32T(optimized) is close to the 8T baseline, and for freqmine/ocean/cg/mg
 // even beats it; fluidanimate keeps a residual slowdown (its lock count
 // scales with the thread count).
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/suite.h"
 
 using namespace eo;
@@ -16,7 +17,7 @@ namespace {
 // cores. cg mixes futex blocking (so VB parks and flag-check quanta appear)
 // with tight spin loops (so BWD samples and deschedules appear), making its
 // trace exercise every subsystem the figure is about.
-bool run_traced(const bench::BenchArgs& args, double scale) {
+bool run_traced(const bench::Cli& cli) {
   const auto& spec = workloads::find_benchmark("cg");
   metrics::RunConfig rc;
   rc.cpus = 8;
@@ -27,74 +28,99 @@ bool run_traced(const bench::BenchArgs& args, double scale) {
   rc.trace.enabled = true;
   rc.trace.ring_capacity = 1u << 20;
   const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-    workloads::spawn_benchmark(k, spec, 32, 7, scale);
+    workloads::spawn_benchmark(k, spec, 32, cli.seed, cli.scale);
   });
   std::printf("traced run: cg 32T(opt-8c) exec=%s ms\n",
               bench::ms(r.exec_time).c_str());
   return bench::export_and_check_trace(
-      r, args,
+      r, cli,
       {trace::EventKind::kSwitchIn, trace::EventKind::kFutexWait,
        trace::EventKind::kFutexWake, trace::EventKind::kVbSkipQuantum,
        trace::EventKind::kBwdDesched});
 }
 
+struct Config {
+  int threads;
+  bool optimized;
+  bool smt;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv, 0.2);
-  const double scale = args.scale;
-  if (args.tracing()) {
-    if (!run_traced(args, scale)) return 1;
-    if (args.trace_only) return 0;
+  const bench::CliSpec spec{
+      .id = "fig09_vb_blocking",
+      .summary = "VB on blocking benchmarks (normalized to 8T vanilla)",
+      .default_scale = 0.2,
+      .supports_trace = true};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  if (cli.tracing()) {
+    if (!run_traced(cli)) return 1;
+    if (cli.trace_only) return 0;
   }
-  bench::print_header("Figure 9",
-                      "VB on blocking benchmarks (normalized to 8T vanilla)");
 
   const auto names = workloads::fig9_benchmarks();
-  struct Config {
-    int threads;
-    bool optimized;
-    bool smt;
-  };
   const std::vector<Config> configs = {
       {8, false, false},  {32, false, false}, {32, true, false},
       {8, false, true},   {32, false, true},  {32, true, true},
   };
-  std::vector<std::vector<double>> t(names.size(),
-                                     std::vector<double>(configs.size(), 0));
+  const std::vector<std::string> config_labels = {
+      "8T(van-8c)", "32T(van-8c)", "32T(opt-8c)",
+      "8T(van-8ht)", "32T(van-8ht)", "32T(opt-8ht)"};
 
-  ThreadPool::parallel_for(names.size() * configs.size(), [&](std::size_t job) {
-    const auto bi = job / configs.size();
-    const auto ci = job % configs.size();
-    const auto& spec = workloads::find_benchmark(names[bi]);
-    metrics::RunConfig rc;
-    rc.cpus = 8;
-    rc.sockets = 2;
-    rc.smt = configs[ci].smt;
-    rc.features = configs[ci].optimized ? core::Features::optimized()
-                                        : core::Features::vanilla();
-    rc.ref_footprint = spec.ref_footprint();
-    rc.deadline = 600_s;
-    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-      workloads::spawn_benchmark(k, spec, configs[ci].threads, 7, scale);
-    });
-    t[bi][ci] = to_ms(r.exec_time);
-  });
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 2;
+  base.deadline = 600_s;
+
+  exp::Sweep sweep("vb_blocking");
+  sweep.base(base)
+      .axis("benchmark", names)
+      .axis("config", config_labels,
+            [&](metrics::RunConfig& rc, std::size_t ci) {
+              rc.smt = configs[ci].smt;
+              rc.features = configs[ci].optimized
+                                ? core::Features::optimized()
+                                : core::Features::vanilla();
+            });
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Figure 9",
+                      "VB on blocking benchmarks (normalized to 8T vanilla)");
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const auto& bspec = workloads::find_benchmark(names[cell.at(0)]);
+        const int threads = configs[cell.at(1)].threads;
+        metrics::RunConfig rc = cfg;
+        rc.ref_footprint = bspec.ref_footprint();
+        return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, bspec, threads, cli.seed, cli.scale);
+        });
+      });
 
   metrics::TablePrinter table({"benchmark", "8T(van-8c)", "32T(van-8c)",
                                "32T(opt-8c)", "8T(van-8ht)", "32T(van-8ht)",
                                "32T(opt-8ht)"});
   for (std::size_t bi = 0; bi < names.size(); ++bi) {
-    const double base_c = t[bi][0];
-    const double base_ht = t[bi][3];
-    table.add_row({names[bi], metrics::TablePrinter::num(1.0),
-                   metrics::TablePrinter::num(t[bi][1] / base_c),
-                   metrics::TablePrinter::num(t[bi][2] / base_c),
-                   metrics::TablePrinter::num(base_ht / base_c),
-                   metrics::TablePrinter::num(t[bi][4] / base_c),
-                   metrics::TablePrinter::num(t[bi][5] / base_c)});
+    if (!out.at({bi, 0}).ran()) continue;
+    const double base_c = out.at({bi, 0}).ms();
+    std::vector<std::string> row = {names[bi]};
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      const auto& o = out.at({bi, ci});
+      row.push_back(o.ran() ? metrics::TablePrinter::num(o.ms() / base_c)
+                            : "-");
+    }
+    table.add_row(row);
   }
   table.print();
   std::printf("(columns normalized to 8T vanilla on 8 full cores)\n");
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -4,80 +4,121 @@
 //      ~2.3x for condition variables (group wakeups).
 //  (b) 32 threads on 1..32 cores: the group-synchronization speedups grow
 //      (to ~3x barrier, ~5x cond).
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/microbench.h"
 
 using namespace eo;
 
 namespace {
 
-double speedup(workloads::SyncPrimitive prim, int threads, int cores,
-               int iterations) {
-  double t[2] = {0, 0};
-  for (int opt = 0; opt < 2; ++opt) {
-    metrics::RunConfig rc;
-    rc.cpus = cores;
-    rc.sockets = cores > 8 ? 2 : 1;
-    rc.features =
-        opt ? core::Features::optimized() : core::Features::vanilla();
-    rc.deadline = 600_s;
-    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-      workloads::spawn_sync_micro(k, threads, prim, iterations);
-    });
-    t[opt] = to_ms(r.exec_time);
+const std::vector<workloads::SyncPrimitive> kPrims = {
+    workloads::SyncPrimitive::kMutex, workloads::SyncPrimitive::kCond,
+    workloads::SyncPrimitive::kBarrier};
+const std::vector<std::string> kPrimLabels = {"pthread_mutex", "pthread_cond",
+                                              "pthread_barrier"};
+
+exp::Sweep make_sweep(const std::string& name, const std::string& vary_axis,
+                      const std::vector<int>& counts, bool vary_cores) {
+  std::vector<std::string> count_labels;
+  for (const int c : counts) count_labels.push_back(std::to_string(c));
+  exp::Sweep sweep(name);
+  metrics::RunConfig base;
+  base.cpus = 1;
+  base.sockets = 1;
+  base.deadline = 600_s;
+  sweep.base(base)
+      .axis("primitive", kPrimLabels)
+      .axis(vary_axis, count_labels,
+            [&counts, vary_cores](metrics::RunConfig& rc, std::size_t i) {
+              if (vary_cores) {
+                rc.cpus = counts[i];
+                rc.sockets = counts[i] > 8 ? 2 : 1;
+              }
+            })
+      .axis("kernel", {"vanilla", "optimized"},
+            [](metrics::RunConfig& rc, std::size_t i) {
+              rc.features = i ? core::Features::optimized()
+                              : core::Features::vanilla();
+            });
+  return sweep;
+}
+
+// Attaches vanilla/optimized speedups to the optimized cells and prints the
+// figure table (rows = the varying axis, columns = primitives).
+void finish_sweep(const std::string& row_header,
+                  const std::vector<int>& counts, exp::Outcomes& out) {
+  for (std::size_t pi = 0; pi < kPrims.size(); ++pi) {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const exp::CellOutcome& van = out.at({pi, i, 0});
+      exp::CellOutcome& opt = out.at({pi, i, 1});
+      if (!van.ran() || !opt.ran()) continue;
+      opt.set("speedup", van.ms() / opt.ms());
+    }
   }
-  return t[0] / t[1];
+  metrics::TablePrinter t(
+      {row_header, "pthread_mutex", "pthread_cond", "pthread_barrier"});
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(counts[i])};
+    for (std::size_t pi = 0; pi < kPrims.size(); ++pi) {
+      const exp::CellOutcome& o = out.at({pi, i, 1});
+      row.push_back(o.ran() ? metrics::TablePrinter::num(o.value("speedup"))
+                            : "-");
+    }
+    t.add_row(row);
+  }
+  t.print();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.25);
-  const int iters = std::max(200, static_cast<int>(10000 * scale));
-  const std::vector<workloads::SyncPrimitive> prims = {
-      workloads::SyncPrimitive::kMutex, workloads::SyncPrimitive::kCond,
-      workloads::SyncPrimitive::kBarrier};
+  const bench::CliSpec spec{
+      .id = "fig10_vb_micro",
+      .summary = "VB speedup on pthreads primitives (micro)",
+      .default_scale = 0.25};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  const int iters = std::max(200, static_cast<int>(10000 * cli.scale));
 
-  bench::print_header("Figure 10(a)", "VB speedup, varying threads on one core");
-  {
-    const std::vector<int> threads = {1, 2, 4, 8, 16, 32};
-    std::vector<std::vector<double>> s(prims.size(),
-                                       std::vector<double>(threads.size()));
-    ThreadPool::parallel_for(prims.size() * threads.size(), [&](std::size_t j) {
-      s[j / threads.size()][j % threads.size()] =
-          speedup(prims[j / threads.size()], threads[j % threads.size()], 1,
-                  iters);
-    });
-    metrics::TablePrinter t(
-        {"threads", "pthread_mutex", "pthread_cond", "pthread_barrier"});
-    for (std::size_t ti = 0; ti < threads.size(); ++ti) {
-      t.add_row({std::to_string(threads[ti]),
-                 metrics::TablePrinter::num(s[0][ti]),
-                 metrics::TablePrinter::num(s[1][ti]),
-                 metrics::TablePrinter::num(s[2][ti])});
-    }
-    t.print();
+  const std::vector<int> threads = {1, 2, 4, 8, 16, 32};
+  const std::vector<int> cores = {1, 2, 4, 8, 16, 32};
+  exp::Sweep sweep_a = make_sweep("threads_on_one_core", "threads", threads,
+                                  /*vary_cores=*/false);
+  exp::Sweep sweep_b = make_sweep("cores_at_32T", "cores", cores,
+                                  /*vary_cores=*/true);
+
+  exp::ExperimentRunner runner_a(sweep_a, cli.runner_options());
+  exp::ExperimentRunner runner_b(sweep_b, cli.runner_options());
+  if (cli.list) {
+    runner_a.list(std::cout);
+    runner_b.list(std::cout);
+    return 0;
   }
 
-  bench::print_header("Figure 10(b)", "VB speedup, 32 threads on varying cores");
-  {
-    const std::vector<int> cores = {1, 2, 4, 8, 16, 32};
-    std::vector<std::vector<double>> s(prims.size(),
-                                       std::vector<double>(cores.size()));
-    ThreadPool::parallel_for(prims.size() * cores.size(), [&](std::size_t j) {
-      s[j / cores.size()][j % cores.size()] =
-          speedup(prims[j / cores.size()], 32, cores[j % cores.size()], iters);
-    });
-    metrics::TablePrinter t(
-        {"cores", "pthread_mutex", "pthread_cond", "pthread_barrier"});
-    for (std::size_t ci = 0; ci < cores.size(); ++ci) {
-      t.add_row({std::to_string(cores[ci]),
-                 metrics::TablePrinter::num(s[0][ci]),
-                 metrics::TablePrinter::num(s[1][ci]),
-                 metrics::TablePrinter::num(s[2][ci])});
-    }
-    t.print();
-  }
-  return 0;
+  bench::print_header("Figure 10(a)",
+                      "VB speedup, varying threads on one core");
+  exp::Outcomes out_a = runner_a.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        return metrics::run_experiment(cfg, [&](kern::Kernel& k) {
+          workloads::spawn_sync_micro(k, threads[cell.at(1)],
+                                      kPrims[cell.at(0)], iters);
+        });
+      });
+  finish_sweep("threads", threads, out_a);
+
+  bench::print_header("Figure 10(b)",
+                      "VB speedup, 32 threads on varying cores");
+  exp::Outcomes out_b = runner_b.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        return metrics::run_experiment(cfg, [&](kern::Kernel& k) {
+          workloads::spawn_sync_micro(k, 32, kPrims[cell.at(0)], iters);
+        });
+      });
+  finish_sweep("cores", cores, out_b);
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep_a, out_a);
+  doc.add_sweep(sweep_b, out_b);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -5,8 +5,9 @@
 // Expected: with VB, 32 threads is never worse than 8 threads and scales to
 // 32 cores; pinning cannot adapt (paper: programs crashed when the core
 // count decreased — reported here as "crash"), and leaves added cores unused.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "runtime/sim_thread.h"
 #include "workloads/suite.h"
 
@@ -14,23 +15,29 @@ using namespace eo;
 
 namespace {
 
-struct Result {
-  double ms = 0;
-  bool crashed = false;
+struct Cfg {
+  const char* label;
+  int threads;  // 0 = match core count
+  bool pinned;
+  bool optimized;
 };
 
-Result run_one(const workloads::BenchmarkSpec& spec, int threads, int cores,
-               bool pinned, bool optimized, double scale) {
-  metrics::RunConfig rc;
-  rc.cpus = 32;  // machine capacity; the container is resized below
-  rc.sockets = 2;
-  rc.features = optimized ? core::Features::optimized()
-                          : core::Features::vanilla();
-  rc.ref_footprint = spec.ref_footprint();
-  auto kc = metrics::make_kernel_config(rc);
+const std::vector<Cfg> kCfgs = {
+    {"#core-T(vanilla)", 0, false, false},
+    {"8T(vanilla)", 8, false, false},
+    {"32T(vanilla)", 32, false, false},
+    {"32T(pinned)", 32, true, false},
+    {"32T(optimized)", 32, false, true},
+};
+
+// Drives the kernel manually: boot on 8 cores, resize at runtime.
+exp::CellRun run_one(const workloads::BenchmarkSpec& spec, int threads,
+                     int cores, bool pinned, const metrics::RunConfig& cfg,
+                     std::uint64_t seed, double scale) {
+  auto kc = metrics::make_kernel_config(cfg);
   kern::Kernel k(kc);
   k.set_online_cores(8);  // startup allocation
-  workloads::spawn_benchmark(k, spec, threads, 7, scale);
+  workloads::spawn_benchmark(k, spec, threads, seed, scale);
   if (pinned) {
     // Pin threads round-robin over the startup cores.
     int i = 0;
@@ -41,62 +48,96 @@ Result run_one(const workloads::BenchmarkSpec& spec, int threads, int cores,
   // The provider resizes the container shortly after startup.
   k.run_until(5_ms);
   if (cores != 8) k.set_online_cores(cores);
-  Result res;
-  const bool done = k.run_to_exit(600_s);
-  res.ms = to_ms(done ? k.last_exit_time() : k.now());
+  const bool done = k.run_to_exit(cfg.deadline);
+  exp::CellRun res;
+  res.run.completed = done;
+  res.run.exec_time = done ? k.last_exit_time() : k.now();
+  res.run.stats = k.stats();
+  res.run.pinned_violation = k.pinned_violation();
   // Pinning to a core that is taken away kills the run in practice.
-  res.crashed = pinned && k.pinned_violation();
+  res.set("crashed", pinned && k.pinned_violation() ? 1.0 : 0.0);
+  if (pinned && k.pinned_violation()) {
+    // A crashed run is terminal — the deadline retry loop must not rerun it.
+    res.run.completed = true;
+  }
   return res;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.15);
-  bench::print_header("Figure 11", "runtime core-count adaptation (exec time, ms)");
+  const bench::CliSpec spec{
+      .id = "fig11_elasticity",
+      .summary = "runtime core-count adaptation (exec time, ms)",
+      .default_scale = 0.15};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
 
   const std::vector<std::string> names = {"ep", "facesim", "streamcluster",
                                           "ocean", "cg"};
   const std::vector<int> cores = {2, 4, 8, 16, 32};
-  struct Cfg {
-    const char* label;
-    int threads;  // 0 = match core count
-    bool pinned;
-    bool optimized;
-  };
-  const std::vector<Cfg> cfgs = {
-      {"#core-T(vanilla)", 0, false, false},
-      {"8T(vanilla)", 8, false, false},
-      {"32T(vanilla)", 32, false, false},
-      {"32T(pinned)", 32, true, false},
-      {"32T(optimized)", 32, false, true},
-  };
+  std::vector<std::string> cfg_labels;
+  for (const auto& c : kCfgs) cfg_labels.emplace_back(c.label);
+  std::vector<std::string> core_labels;
+  for (const int c : cores) core_labels.push_back(std::to_string(c) + "c");
 
-  for (const auto& name : names) {
-    const auto& spec = workloads::find_benchmark(name);
-    std::vector<std::vector<Result>> grid(
-        cfgs.size(), std::vector<Result>(cores.size()));
-    ThreadPool::parallel_for(cfgs.size() * cores.size(), [&](std::size_t job) {
-      const auto ci = job / cores.size();
-      const auto ki = job % cores.size();
-      const int threads = cfgs[ci].threads == 0 ? cores[ki] : cfgs[ci].threads;
-      grid[ci][ki] = run_one(spec, threads, cores[ki], cfgs[ci].pinned,
-                             cfgs[ci].optimized, scale);
-    });
-    std::printf("\n--- %s ---\n", name.c_str());
+  metrics::RunConfig base;
+  base.cpus = 32;  // machine capacity; the container is resized at runtime
+  base.sockets = 2;
+  base.deadline = 600_s;
+
+  exp::Sweep sweep("elasticity");
+  sweep.base(base)
+      .axis("benchmark", names)
+      .axis("config", cfg_labels,
+            [](metrics::RunConfig& rc, std::size_t ci) {
+              rc.features = kCfgs[ci].optimized ? core::Features::optimized()
+                                                : core::Features::vanilla();
+            })
+      .axis("cores", core_labels);
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Figure 11",
+                      "runtime core-count adaptation (exec time, ms)");
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const auto& bspec = workloads::find_benchmark(names[cell.at(0)]);
+        const Cfg& c = kCfgs[cell.at(1)];
+        const int n_cores = cores[cell.at(2)];
+        const int threads = c.threads == 0 ? n_cores : c.threads;
+        metrics::RunConfig rc = cfg;
+        rc.ref_footprint = bspec.ref_footprint();
+        return run_one(bspec, threads, n_cores, c.pinned, rc, cli.seed,
+                       cli.scale);
+      });
+
+  for (std::size_t bi = 0; bi < names.size(); ++bi) {
+    std::printf("\n--- %s ---\n", names[bi].c_str());
     std::vector<std::string> headers = {"config"};
     for (int c : cores) headers.push_back(std::to_string(c) + " cores");
     metrics::TablePrinter t(headers);
-    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
-      std::vector<std::string> row = {cfgs[ci].label};
+    for (std::size_t ci = 0; ci < kCfgs.size(); ++ci) {
+      std::vector<std::string> row = {kCfgs[ci].label};
       for (std::size_t ki = 0; ki < cores.size(); ++ki) {
-        row.push_back(grid[ci][ki].crashed
-                          ? "crash"
-                          : metrics::TablePrinter::num(grid[ci][ki].ms, 1));
+        const exp::CellOutcome& o = out.at({bi, ci, ki});
+        if (!o.ran()) {
+          row.push_back("-");
+        } else if (o.value("crashed") > 0) {
+          row.push_back("crash");
+        } else {
+          row.push_back(metrics::TablePrinter::num(o.ms(), 1));
+        }
       }
       t.add_row(row);
     }
     t.print();
   }
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -6,8 +6,9 @@
 // throughput/latency (~6%) but inflates p95/p99 tail latency ~8x; VB removes
 // most of the tail inflation (92%/60%) and tracks the best config as cores
 // scale.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/memcached.h"
 #include "workloads/mutilate.h"
 
@@ -15,17 +16,19 @@ using namespace eo;
 
 namespace {
 
-struct Out {
-  double tput = 0, avg_us = 0, p95_us = 0, p99_us = 0;
+struct Cfg {
+  const char* label;
+  int workers;
+  bool optimized;
 };
 
-Out run_one(int cores, int workers, bool optimized, double rate, double scale) {
-  metrics::RunConfig rc;
-  rc.cpus = cores;
-  rc.sockets = cores > 8 ? 2 : 1;
-  rc.features =
-      optimized ? core::Features::optimized() : core::Features::vanilla();
-  auto kc = metrics::make_kernel_config(rc);
+const std::vector<Cfg> kCfgs = {{"4T(vanilla)", 4, false},
+                                {"16T(vanilla)", 16, false},
+                                {"16T(optimized)", 16, true}};
+
+exp::CellRun run_one(int workers, double rate, const metrics::RunConfig& cfg,
+                     std::uint64_t seed, double scale) {
+  auto kc = metrics::make_kernel_config(cfg);
   kern::Kernel k(kc);
 
   workloads::MemcachedConfig mc;
@@ -38,7 +41,7 @@ Out run_one(int cores, int workers, bool optimized, double rate, double scale) {
   workloads::MutilateConfig cc;
   cc.rate_ops_per_sec = rate;
   cc.until = warmup + window;
-  cc.seed = 99;
+  cc.seed = seed;
   workloads::MutilateClient client(server, cc);
   client.start();
 
@@ -50,61 +53,83 @@ Out run_one(int cores, int workers, bool optimized, double rate, double scale) {
   server.stop();
   k.run_to_exit(k.now() + 1_s);
 
-  Out o;
-  o.tput = server.latencies().throughput(window + 100_ms);
-  o.avg_us = server.latencies().mean_us();
-  o.p95_us = server.latencies().p95_us();
-  o.p99_us = server.latencies().p99_us();
-  return o;
+  exp::CellRun r;
+  r.run.completed = true;  // open-loop: the window always closes
+  r.run.exec_time = window + 100_ms;
+  r.run.stats = k.stats();
+  r.set("tput_ops_s", server.latencies().throughput(window + 100_ms))
+      .set("avg_us", server.latencies().mean_us())
+      .set("p95_us", server.latencies().p95_us())
+      .set("p99_us", server.latencies().p99_us());
+  return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.5);
-  bench::print_header("Figure 12", "memcached throughput and latency");
+  const bench::CliSpec spec{
+      .id = "fig12_memcached",
+      .summary = "memcached throughput and latency under oversubscription",
+      .default_scale = 0.5,
+      .default_seed = 99};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
 
   const std::vector<int> cores = {4, 8, 16};
   // Offered load scales with capacity; chosen near (not past) saturation of
   // the 4-worker baseline so queueing effects are visible.
   const std::vector<double> rates = {480000, 620000, 450000};
-  struct Cfg {
-    const char* label;
-    int workers;
-    bool optimized;
-  };
-  const std::vector<Cfg> cfgs = {{"4T(vanilla)", 4, false},
-                                 {"16T(vanilla)", 16, false},
-                                 {"16T(optimized)", 16, true}};
+  std::vector<std::string> core_labels;
+  for (const int c : cores) core_labels.push_back(std::to_string(c) + "c");
+  std::vector<std::string> cfg_labels;
+  for (const auto& c : kCfgs) cfg_labels.emplace_back(c.label);
 
-  std::vector<std::vector<Out>> grid(cores.size(),
-                                     std::vector<Out>(cfgs.size()));
-  ThreadPool::parallel_for(cores.size() * cfgs.size(), [&](std::size_t job) {
-    const auto ki = job / cfgs.size();
-    const auto ci = job % cfgs.size();
-    grid[ki][ci] = run_one(cores[ki], cfgs[ci].workers, cfgs[ci].optimized,
-                           rates[ki], scale);
-  });
+  exp::Sweep sweep("memcached");
+  sweep.axis("cores", core_labels,
+             [&](metrics::RunConfig& rc, std::size_t ki) {
+               rc.cpus = cores[ki];
+               rc.sockets = cores[ki] > 8 ? 2 : 1;
+             })
+      .axis("config", cfg_labels,
+            [](metrics::RunConfig& rc, std::size_t ci) {
+              rc.features = kCfgs[ci].optimized ? core::Features::optimized()
+                                                : core::Features::vanilla();
+            });
 
-  for (const char* metric : {"throughput(ops/s)", "avg latency(us)",
-                             "p95 latency(us)", "p99 latency(us)"}) {
-    std::printf("\n--- %s ---\n", metric);
-    metrics::TablePrinter t({"cores", cfgs[0].label, cfgs[1].label,
-                             cfgs[2].label});
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Figure 12", "memcached throughput and latency");
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        return run_one(kCfgs[cell.at(1)].workers, rates[cell.at(0)], cfg,
+                       cli.seed, cli.scale);
+      });
+
+  const std::vector<std::pair<const char*, const char*>> metrics_keys = {
+      {"throughput(ops/s)", "tput_ops_s"},
+      {"avg latency(us)", "avg_us"},
+      {"p95 latency(us)", "p95_us"},
+      {"p99 latency(us)", "p99_us"}};
+  for (const auto& [title, key] : metrics_keys) {
+    std::printf("\n--- %s ---\n", title);
+    metrics::TablePrinter t({"cores", kCfgs[0].label, kCfgs[1].label,
+                             kCfgs[2].label});
     for (std::size_t ki = 0; ki < cores.size(); ++ki) {
       std::vector<std::string> row = {std::to_string(cores[ki])};
-      for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
-        const Out& o = grid[ki][ci];
-        double v = 0;
-        if (std::string(metric).starts_with("throughput")) v = o.tput;
-        else if (std::string(metric).starts_with("avg")) v = o.avg_us;
-        else if (std::string(metric).starts_with("p95")) v = o.p95_us;
-        else v = o.p99_us;
-        row.push_back(metrics::TablePrinter::num(v, 0));
+      for (std::size_t ci = 0; ci < kCfgs.size(); ++ci) {
+        const exp::CellOutcome& o = out.at({ki, ci});
+        row.push_back(o.ran() ? metrics::TablePrinter::num(o.value(key), 0)
+                              : "-");
       }
       t.add_row(row);
     }
     t.print();
   }
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -15,8 +15,9 @@
 //
 // Expected shape: 32T vanilla is several-x slower than 8T vanilla; 32T
 // optimized (BWD) is close to 8T; PLE tracks vanilla.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "locks/spinlocks.h"
 #include "workloads/pipeline.h"
 
@@ -32,67 +33,34 @@ bool lock_uses_pause(locks::SpinLockKind k) {
          k == locks::SpinLockKind::kTtas;
 }
 
-double run_one(locks::SpinLockKind kind, int threads, core::Features f,
-               int items, SimDuration total_stage_work) {
-  metrics::RunConfig rc;
-  rc.cpus = 8;
-  rc.sockets = 2;
-  rc.features = f;
-  rc.deadline = 2000_s;
-  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-    workloads::PipelineConfig pc;
-    pc.n_stages = threads;
-    pc.items = items;
-    pc.stage_work = total_stage_work / threads;  // strong scaling
-    pc.uses_pause = lock_uses_pause(kind);
-    workloads::spawn_spin_pipeline(k, pc);
-  });
-  return to_ms(r.exec_time);
-}
+// Config axis: the union of the container and VM column sets. PLE exists
+// only under virtualization, so the container/PLE cells are not applicable.
+struct Cfg {
+  const char* label;
+  int threads;
+};
+const std::vector<Cfg> kCfgs = {{"8T(vanilla)", 8},
+                                {"32T(vanilla)", 32},
+                                {"32T(PLE)", 32},
+                                {"32T(optimized)", 32}};
 
-void run_mode(bool vm, int items) {
-  const SimDuration total_stage_work = 2_ms;  // per item, across all stages
-  const auto& kinds = locks::all_spinlock_kinds();
-  struct Cfg {
-    const char* label;
-    int threads;
-    core::Features f;
-  };
-  std::vector<Cfg> cfgs;
+core::Features features_for(bool vm, std::size_t ci) {
   if (!vm) {
-    cfgs = {{"8T(vanilla)", 8, core::Features::vanilla()},
-            {"32T(vanilla)", 32, core::Features::vanilla()},
-            {"32T(optimized)", 32, core::Features::optimized()}};
-  } else {
-    cfgs = {{"8T(vanilla)", 8, core::Features::vm_vanilla()},
-            {"32T(vanilla)", 32, core::Features::vm_vanilla()},
-            {"32T(PLE)", 32, core::Features::vm_ple()},
-            {"32T(optimized)", 32, core::Features::vm_optimized()}};
+    return ci == 3 ? core::Features::optimized() : core::Features::vanilla();
   }
-  std::vector<std::vector<double>> t(kinds.size(),
-                                     std::vector<double>(cfgs.size()));
-  ThreadPool::parallel_for(kinds.size() * cfgs.size(), [&](std::size_t job) {
-    const auto li = job / cfgs.size();
-    const auto ci = job % cfgs.size();
-    t[li][ci] = run_one(kinds[li], cfgs[ci].threads, cfgs[ci].f, items,
-                        total_stage_work);
-  });
-  std::vector<std::string> headers = {"spinlock"};
-  for (const auto& c : cfgs) headers.emplace_back(c.label);
-  metrics::TablePrinter table(headers);
-  for (std::size_t li = 0; li < kinds.size(); ++li) {
-    std::vector<std::string> row = {locks::to_string(kinds[li])};
-    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
-      row.push_back(metrics::TablePrinter::num(t[li][ci], 1));
-    }
-    table.add_row(row);
+  switch (ci) {
+    case 2:
+      return core::Features::vm_ple();
+    case 3:
+      return core::Features::vm_optimized();
+    default:
+      return core::Features::vm_vanilla();
   }
-  table.print();
 }
 
 // Traced configuration: the TTAS pipeline at 32 threads (optimized) in a
 // container — the oversubscribed spin workload BWD exists to fix.
-bool run_traced(const bench::BenchArgs& args, int items,
+bool run_traced(const bench::Cli& cli, int items,
                 SimDuration total_stage_work) {
   metrics::RunConfig rc;
   rc.cpus = 8;
@@ -112,7 +80,7 @@ bool run_traced(const bench::BenchArgs& args, int items,
   std::printf("traced run: ttas 32T(opt) pipeline exec=%s ms\n",
               bench::ms(r.exec_time).c_str());
   return bench::export_and_check_trace(
-      r, args,
+      r, cli,
       {trace::EventKind::kSwitchIn, trace::EventKind::kBwdSample,
        trace::EventKind::kBwdDesched});
 }
@@ -120,17 +88,85 @@ bool run_traced(const bench::BenchArgs& args, int items,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv, 0.2);
-  const double scale = args.scale;
-  const int items = std::max(40, static_cast<int>(600 * scale));
-  if (args.tracing()) {
-    if (!run_traced(args, items, 2_ms)) return 1;
-    if (args.trace_only) return 0;
+  const bench::CliSpec spec{
+      .id = "fig13_bwd_spinlocks",
+      .summary = "BWD on the ten spinlock algorithms (container and VM)",
+      .default_scale = 0.2,
+      .supports_trace = true};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  const int items = std::max(40, static_cast<int>(600 * cli.scale));
+  const SimDuration total_stage_work = 2_ms;  // per item, across all stages
+  if (cli.tracing()) {
+    if (!run_traced(cli, items, total_stage_work)) return 1;
+    if (cli.trace_only) return 0;
   }
-  bench::print_header("Figure 13(a)",
-                      "spin pipeline in a container (exec ms)");
-  run_mode(false, items);
-  bench::print_header("Figure 13(b)", "spin pipeline in a KVM VM (exec ms)");
-  run_mode(true, items);
-  return 0;
+
+  const auto& kinds = locks::all_spinlock_kinds();
+  std::vector<std::string> kind_labels;
+  for (const auto k : kinds) kind_labels.emplace_back(locks::to_string(k));
+  std::vector<std::string> cfg_labels;
+  for (const auto& c : kCfgs) cfg_labels.emplace_back(c.label);
+
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 2;
+  base.deadline = 2000_s;
+
+  exp::Sweep sweep("bwd_spinlocks");
+  sweep.base(base)
+      .axis("mode", {"container", "vm"})
+      .axis("spinlock", kind_labels)
+      .axis("config", cfg_labels);
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const bool vm = cell.at(0) == 1;
+        const std::size_t ci = cell.at(2);
+        if (!vm && ci == 2) return exp::CellRun::na();  // PLE needs a VM
+        metrics::RunConfig rc = cfg;
+        rc.features = features_for(vm, ci);
+        const auto kind = kinds[cell.at(1)];
+        const int threads = kCfgs[ci].threads;
+        return exp::CellRun(metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::PipelineConfig pc;
+          pc.n_stages = threads;
+          pc.items = items;
+          pc.stage_work = total_stage_work / threads;  // strong scaling
+          pc.uses_pause = lock_uses_pause(kind);
+          workloads::spawn_spin_pipeline(k, pc);
+        }));
+      });
+
+  const auto print_mode = [&](std::size_t mi, const char* header,
+                              const char* what) {
+    bench::print_header(header, what);
+    std::vector<std::string> headers = {"spinlock"};
+    for (const auto& c : kCfgs) {
+      if (mi == 0 && std::string(c.label) == "32T(PLE)") continue;
+      headers.emplace_back(c.label);
+    }
+    metrics::TablePrinter table(headers);
+    for (std::size_t li = 0; li < kinds.size(); ++li) {
+      std::vector<std::string> row = {kind_labels[li]};
+      for (std::size_t ci = 0; ci < kCfgs.size(); ++ci) {
+        const exp::CellOutcome& o = out.at({mi, li, ci});
+        if (o.not_applicable) continue;
+        row.push_back(o.ran() ? metrics::TablePrinter::num(o.ms(), 1) : "-");
+      }
+      table.add_row(row);
+    }
+    table.print();
+  };
+  print_mode(0, "Figure 13(a)", "spin pipeline in a container (exec ms)");
+  print_mode(1, "Figure 13(b)", "spin pipeline in a KVM VM (exec ms)");
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -4,73 +4,98 @@
 // (worsening somewhat with the ratio — its detection interval is fixed);
 // PLE is inapplicable in containers (∅) and ineffective in VMs because these
 // spin loops contain no PAUSE/NOP.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/suite.h"
 
 using namespace eo;
 
 namespace {
 
-double run_one(const workloads::BenchmarkSpec& spec, int threads,
-               core::Features f, double scale) {
-  metrics::RunConfig rc;
-  rc.cpus = 8;
-  rc.sockets = 2;
-  rc.features = f;
-  rc.ref_footprint = spec.ref_footprint();
-  rc.deadline = 2000_s;
-  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-    workloads::spawn_benchmark(k, spec, threads, 7, scale);
-  });
-  return to_ms(r.exec_time);
-}
+struct Cfg {
+  const char* label;
+  bool na;  // PLE in a container: not applicable
+  core::Features f;
+};
+
+const std::vector<Cfg> kCfgs = {
+    {"container-vanilla", false, core::Features::vanilla()},
+    {"container-PLE", true, core::Features::vanilla()},  // ∅: N/A
+    {"container-optimized", false, core::Features::optimized()},
+    {"vm-vanilla", false, core::Features::vm_vanilla()},
+    {"vm-PLE", false, core::Features::vm_ple()},
+    {"vm-optimized", false, core::Features::vm_optimized()},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.15);
-  bench::print_header("Figure 14", "user-customized spinning (exec ms)");
+  const bench::CliSpec spec{
+      .id = "fig14_user_spinning",
+      .summary = "BWD on user-customized spinning (exec ms)",
+      .default_scale = 0.15};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
 
+  const std::vector<std::string> names = {"lu", "volrend"};
   const std::vector<int> threads = {8, 16, 32};
-  for (const char* name : {"lu", "volrend"}) {
-    const auto& spec = workloads::find_benchmark(name);
-    struct Cfg {
-      const char* label;
-      bool vm;
-      core::Features f;
-    };
-    const std::vector<Cfg> cfgs = {
-        {"container-vanilla", false, core::Features::vanilla()},
-        {"container-PLE", false, core::Features::vanilla()},  // ∅: N/A
-        {"container-optimized", false, core::Features::optimized()},
-        {"vm-vanilla", true, core::Features::vm_vanilla()},
-        {"vm-PLE", true, core::Features::vm_ple()},
-        {"vm-optimized", true, core::Features::vm_optimized()},
-    };
-    std::vector<std::vector<double>> t(cfgs.size(),
-                                       std::vector<double>(threads.size()));
-    ThreadPool::parallel_for(cfgs.size() * threads.size(), [&](std::size_t j) {
-      const auto ci = j / threads.size();
-      const auto ti = j % threads.size();
-      if (!cfgs[ci].vm && std::string(cfgs[ci].label) == "container-PLE") {
-        t[ci][ti] = -1;  // PLE is not applicable to containers
-        return;
-      }
-      t[ci][ti] = run_one(spec, threads[ti], cfgs[ci].f, scale);
-    });
-    std::printf("\n--- %s ---\n", name);
+  std::vector<std::string> cfg_labels;
+  for (const auto& c : kCfgs) cfg_labels.emplace_back(c.label);
+  std::vector<std::string> thread_labels;
+  for (const int t : threads) thread_labels.push_back(std::to_string(t) + "t");
+
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 2;
+  base.deadline = 2000_s;
+
+  exp::Sweep sweep("user_spinning");
+  sweep.base(base)
+      .axis("benchmark", names)
+      .axis("config", cfg_labels,
+            [](metrics::RunConfig& rc, std::size_t ci) {
+              rc.features = kCfgs[ci].f;
+            })
+      .axis("threads", thread_labels);
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Figure 14", "user-customized spinning (exec ms)");
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        if (kCfgs[cell.at(1)].na) return exp::CellRun::na();
+        const auto& bspec = workloads::find_benchmark(names[cell.at(0)]);
+        metrics::RunConfig rc = cfg;
+        rc.ref_footprint = bspec.ref_footprint();
+        return exp::CellRun(metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, bspec, threads[cell.at(2)], cli.seed,
+                                     cli.scale);
+        }));
+      });
+
+  for (std::size_t bi = 0; bi < names.size(); ++bi) {
+    std::printf("\n--- %s ---\n", names[bi].c_str());
     metrics::TablePrinter table({"config", "8t", "16t", "32t"});
-    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
-      std::vector<std::string> row = {cfgs[ci].label};
+    for (std::size_t ci = 0; ci < kCfgs.size(); ++ci) {
+      std::vector<std::string> row = {kCfgs[ci].label};
       for (std::size_t ti = 0; ti < threads.size(); ++ti) {
-        row.push_back(t[ci][ti] < 0
-                          ? "n/a"
-                          : metrics::TablePrinter::num(t[ci][ti], 1));
+        const exp::CellOutcome& o = out.at({bi, ci, ti});
+        if (o.not_applicable) {
+          row.push_back("n/a");
+        } else {
+          row.push_back(o.ran() ? metrics::TablePrinter::num(o.ms(), 1) : "-");
+        }
       }
       table.add_row(row);
     }
     table.print();
   }
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -6,8 +6,9 @@
 // Expected: the spin-then-park locks still collapse (they spin away slices
 // and park through the vanilla futex); SHFLLOCK is no better (bulk wakeups,
 // NUMA-preferential wakes); the kernel-side fix wins by up to ~5x.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "locks/blocking_locks.h"
 #include "runtime/sim_thread.h"
 #include "workloads/suite.h"
@@ -46,67 +47,89 @@ void spawn_locked_benchmark(kern::Kernel& k,
   }
 }
 
-double run_one(const workloads::BenchmarkSpec& spec,
-               locks::BlockingLockKind kind, bool optimized, double scale) {
-  metrics::RunConfig rc;
-  rc.cpus = 8;
-  rc.sockets = 2;
-  rc.features =
-      optimized ? core::Features::optimized() : core::Features::vanilla();
-  rc.ref_footprint = spec.ref_footprint();
-  rc.deadline = 2000_s;
-  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-    auto lock = std::shared_ptr<locks::BlockingLock>(
-        locks::make_blocking_lock(kind, k, 32));
-    spawn_locked_benchmark(k, spec, 32, std::move(lock), scale);
-  });
-  return to_ms(r.exec_time);
-}
+struct Cfg {
+  const char* label;
+  locks::BlockingLockKind kind;
+  bool optimized;
+};
+
+const std::vector<Cfg> kCfgs = {
+    {"pthread", locks::BlockingLockKind::kPthreadMutex, false},
+    {"mutexee", locks::BlockingLockKind::kMutexee, false},
+    {"mcstp", locks::BlockingLockKind::kMcsTp, false},
+    {"shfllock", locks::BlockingLockKind::kShflLock, false},
+    {"optimized", locks::BlockingLockKind::kPthreadMutex, true},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.25);
+  const bench::CliSpec spec{
+      .id = "fig15_shfllock",
+      .summary =
+          "SHFLLOCK / spin-then-park locks vs our approach, 32T on 8 cores",
+      .default_scale = 0.25};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+
+  const std::vector<std::string> names = {"freqmine", "streamcluster", "lu_cb",
+                                          "ocean", "radix"};
+  std::vector<std::string> cfg_labels;
+  for (const auto& c : kCfgs) cfg_labels.emplace_back(c.label);
+
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 2;
+  base.deadline = 2000_s;
+
+  exp::Sweep sweep("shfllock");
+  sweep.base(base)
+      .axis("benchmark", names)
+      .axis("lock", cfg_labels,
+            [](metrics::RunConfig& rc, std::size_t ci) {
+              rc.features = kCfgs[ci].optimized ? core::Features::optimized()
+                                                : core::Features::vanilla();
+            });
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
   bench::print_header(
       "Figure 15",
       "SHFLLOCK / spin-then-park locks vs our approach, 32T on 8 cores "
       "(normalized to optimized)");
-
-  const std::vector<std::string> names = {"freqmine", "streamcluster", "lu_cb",
-                                          "ocean", "radix"};
-  struct Cfg {
-    const char* label;
-    locks::BlockingLockKind kind;
-    bool optimized;
-  };
-  const std::vector<Cfg> cfgs = {
-      {"pthread", locks::BlockingLockKind::kPthreadMutex, false},
-      {"mutexee", locks::BlockingLockKind::kMutexee, false},
-      {"mcstp", locks::BlockingLockKind::kMcsTp, false},
-      {"shfllock", locks::BlockingLockKind::kShflLock, false},
-      {"optimized", locks::BlockingLockKind::kPthreadMutex, true},
-  };
-
-  std::vector<std::vector<double>> t(names.size(),
-                                     std::vector<double>(cfgs.size()));
-  ThreadPool::parallel_for(names.size() * cfgs.size(), [&](std::size_t job) {
-    const auto bi = job / cfgs.size();
-    const auto ci = job % cfgs.size();
-    t[bi][ci] = run_one(workloads::find_benchmark(names[bi]), cfgs[ci].kind,
-                        cfgs[ci].optimized, scale);
-  });
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const auto& bspec = workloads::find_benchmark(names[cell.at(0)]);
+        const Cfg& c = kCfgs[cell.at(1)];
+        metrics::RunConfig rc = cfg;
+        rc.ref_footprint = bspec.ref_footprint();
+        return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          auto lock = std::shared_ptr<locks::BlockingLock>(
+              locks::make_blocking_lock(c.kind, k, 32));
+          spawn_locked_benchmark(k, bspec, 32, std::move(lock), cli.scale);
+        });
+      });
 
   std::vector<std::string> headers = {"benchmark"};
-  for (const auto& c : cfgs) headers.emplace_back(c.label);
+  for (const auto& c : kCfgs) headers.emplace_back(c.label);
   metrics::TablePrinter table(headers);
   for (std::size_t bi = 0; bi < names.size(); ++bi) {
+    const exp::CellOutcome& opt = out.at({bi, kCfgs.size() - 1});
+    if (!opt.ran()) continue;
+    const double norm = opt.ms();  // normalized to optimized
     std::vector<std::string> row = {names[bi]};
-    const double base = t[bi].back();  // normalized to optimized
-    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
-      row.push_back(metrics::TablePrinter::num(t[bi][ci] / base));
+    for (std::size_t ci = 0; ci < kCfgs.size(); ++ci) {
+      const exp::CellOutcome& o = out.at({bi, ci});
+      row.push_back(o.ran() ? metrics::TablePrinter::num(o.ms() / norm) : "-");
     }
     table.add_row(row);
   }
   table.print();
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -1,0 +1,37 @@
+// json_check <file>... — validates bench result documents against the
+// eo-bench-result schema (src/exp/result.h). Exits nonzero unless every file
+// parses and passes structural validation. Used by the bench_json_smoke
+// ctest, and handy for checking archived BENCH_*.json documents by hand.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/result.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_check <file>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream f(argv[i], std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "json_check: cannot open %s\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string err;
+    if (!eo::exp::validate_result_json(ss.str(), &err)) {
+      std::fprintf(stderr, "json_check: %s: INVALID: %s\n", argv[i],
+                   err.c_str());
+      ++failures;
+    } else {
+      std::printf("json_check: %s: ok\n", argv[i]);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

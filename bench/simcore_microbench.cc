@@ -1,9 +1,16 @@
-// Host-performance microbenchmarks of the simulator machinery itself
-// (google-benchmark): event-engine throughput, red-black-tree churn, and
-// end-to-end simulated context-switch rate. These guard against simulator
+// Host-performance microbenchmarks of the simulator machinery itself:
+// event-engine throughput, red-black-tree churn, end-to-end simulated
+// context-switch rate, and futex round trips. These guard against simulator
 // regressions that would make the figure benches impractically slow.
-#include <benchmark/benchmark.h>
+//
+// The JSON cells carry only deterministic simulator counters (items
+// processed, context switches); the host-side ns/op timings are volatile and
+// therefore reported in the document's `meta` block.
+#include <chrono>
+#include <iostream>
 
+#include "bench_util.h"
+#include "common/rng.h"
 #include "kern/kernel.h"
 #include "runtime/sim_thread.h"
 #include "sched/entity.h"
@@ -12,87 +19,172 @@
 
 using namespace eo;
 
-static void BM_EngineScheduleFire(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Engine e;
-    int sink = 0;
-    for (int i = 0; i < 1000; ++i) {
-      e.schedule_at(i, [&sink] { ++sink; });
-    }
-    e.run();
-    benchmark::DoNotOptimize(sink);
-  }
-  state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_EngineScheduleFire);
+namespace {
 
-static void BM_RbTreeInsertErase(benchmark::State& state) {
+struct MicroResult {
+  std::uint64_t items = 0;          // deterministic work count per rep
+  std::uint64_t sim_switches = 0;   // deterministic, kernel benches only
+};
+
+MicroResult engine_schedule_fire() {
+  sim::Engine e;
+  int sink = 0;
+  for (int i = 0; i < 1000; ++i) {
+    e.schedule_at(i, [&sink] { ++sink; });
+  }
+  e.run();
+  return {static_cast<std::uint64_t>(sink), 0};
+}
+
+MicroResult rbtree_insert_erase() {
   struct Item {
     sched::RbNode node;
     long key;
   };
   struct Less {
-    bool operator()(const Item& a, const Item& b) const { return a.key < b.key; }
+    bool operator()(const Item& a, const Item& b) const {
+      return a.key < b.key;
+    }
   };
   std::vector<Item> items(256);
   Rng rng(1);
   for (auto& i : items) i.key = static_cast<long>(rng.next_below(10000));
-  for (auto _ : state) {
-    sched::RbTree<Item, &Item::node, Less> tree;
-    for (auto& i : items) tree.insert(&i);
-    while (tree.leftmost() != nullptr) tree.erase(tree.leftmost());
+  sched::RbTree<Item, &Item::node, Less> tree;
+  for (auto& i : items) tree.insert(&i);
+  std::uint64_t n = 0;
+  while (tree.leftmost() != nullptr) {
+    tree.erase(tree.leftmost());
+    ++n;
   }
-  state.SetItemsProcessed(state.iterations() * 256);
+  return {n, 0};
 }
-BENCHMARK(BM_RbTreeInsertErase);
 
-static void BM_KernelContextSwitches(benchmark::State& state) {
-  for (auto _ : state) {
-    kern::KernelConfig c;
-    c.topo = hw::Topology::make_cores(1, 1);
-    kern::Kernel k(c);
-    for (int i = 0; i < 4; ++i) {
-      runtime::spawn(k, "t", [](runtime::Env env) -> runtime::SimThread {
-        for (int r = 0; r < 50; ++r) {
-          co_await env.compute(10_us);
-          co_await env.yield();
-        }
-        co_return;
-      });
+MicroResult kernel_context_switches() {
+  kern::KernelConfig c;
+  c.topo = hw::Topology::make_cores(1, 1);
+  kern::Kernel k(c);
+  for (int i = 0; i < 4; ++i) {
+    runtime::spawn(k, "t", [](runtime::Env env) -> runtime::SimThread {
+      for (int r = 0; r < 50; ++r) {
+        co_await env.compute(10_us);
+        co_await env.yield();
+      }
+      co_return;
+    });
+  }
+  k.run_to_exit(10_s);
+  return {200, k.stats().context_switches};
+}
+
+MicroResult futex_round_trip() {
+  kern::KernelConfig c;
+  c.topo = hw::Topology::make_cores(2, 1);
+  kern::Kernel k(c);
+  kern::SimWord* w = k.alloc_word(0);
+  runtime::spawn(k, "waiter", [w](runtime::Env env) -> runtime::SimThread {
+    for (int r = 0; r < 100; ++r) {
+      co_await env.futex_wait(w, 0);
     }
-    k.run_to_exit(10_s);
-    benchmark::DoNotOptimize(k.stats().context_switches);
-  }
-  state.SetItemsProcessed(state.iterations() * 200);
+    co_return;
+  });
+  runtime::spawn(k, "waker", [w](runtime::Env env) -> runtime::SimThread {
+    for (int r = 0; r < 100; ++r) {
+      co_await env.compute(5_us);
+      // Publish before waking so a not-yet-parked waiter sees EWOULDBLOCK
+      // instead of sleeping through a lost wake.
+      co_await env.store(w, 1);
+      co_await env.futex_wake(w, 1);
+    }
+    co_return;
+  });
+  k.run_to_exit(10_s);
+  return {100, k.stats().context_switches};
 }
-BENCHMARK(BM_KernelContextSwitches);
 
-static void BM_FutexRoundTrip(benchmark::State& state) {
-  for (auto _ : state) {
-    kern::KernelConfig c;
-    c.topo = hw::Topology::make_cores(2, 1);
-    kern::Kernel k(c);
-    kern::SimWord* w = k.alloc_word(0);
-    runtime::spawn(k, "waiter", [w](runtime::Env env) -> runtime::SimThread {
-      for (int r = 0; r < 100; ++r) {
-        co_await env.futex_wait(w, 0);
-      }
-      co_return;
-    });
-    runtime::spawn(k, "waker", [w](runtime::Env env) -> runtime::SimThread {
-      for (int r = 0; r < 100; ++r) {
-        co_await env.compute(5_us);
-        // Publish before waking so a not-yet-parked waiter sees EWOULDBLOCK
-        // instead of sleeping through a lost wake.
-        co_await env.store(w, 1);
-        co_await env.futex_wake(w, 1);
-      }
-      co_return;
-    });
-    k.run_to_exit(10_s);
+struct Micro {
+  const char* name;
+  MicroResult (*fn)();
+};
+
+const std::vector<Micro> kMicros = {
+    {"engine_schedule_fire", engine_schedule_fire},
+    {"rbtree_insert_erase", rbtree_insert_erase},
+    {"kernel_context_switches", kernel_context_switches},
+    {"futex_round_trip", futex_round_trip},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::CliSpec spec{
+      .id = "simcore_microbench",
+      .summary = "host-performance microbenchmarks of the simulator core",
+      .default_scale = 1.0};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  const int reps = std::max(3, static_cast<int>(50 * cli.scale));
+
+  std::vector<std::string> names;
+  for (const auto& m : kMicros) names.emplace_back(m.name);
+  exp::Sweep sweep("simcore");
+  sweep.axis("microbench", names);
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
   }
-  state.SetItemsProcessed(state.iterations() * 100);
-}
-BENCHMARK(BM_FutexRoundTrip);
 
-BENCHMARK_MAIN();
+  bench::print_header("simcore", "simulator-core microbenchmarks");
+  // Host ns/item per microbench, collected outside the cells (volatile).
+  std::vector<double> host_ns_per_item(kMicros.size(), 0.0);
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig&) {
+        const Micro& m = kMicros[cell.at(0)];
+        MicroResult last{};
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r) last = m.fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double total_items =
+            static_cast<double>(last.items) * static_cast<double>(reps);
+        host_ns_per_item[cell.at(0)] =
+            total_items > 0
+                ? static_cast<double>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          t1 - t0)
+                          .count()) /
+                      total_items
+                : 0.0;
+        exp::CellRun res;
+        res.run.completed = true;
+        res.set("items_per_rep", static_cast<double>(last.items))
+            .set("reps", static_cast<double>(reps))
+            .set("sim_context_switches",
+                 static_cast<double>(last.sim_switches));
+        return res;
+      });
+
+  metrics::TablePrinter t(
+      {"microbench", "items/rep", "sim CS", "host ns/item"});
+  for (std::size_t i = 0; i < kMicros.size(); ++i) {
+    const exp::CellOutcome& o = out.at({i});
+    if (!o.ran()) continue;
+    t.add_row({kMicros[i].name,
+               std::to_string(
+                   static_cast<std::uint64_t>(o.value("items_per_rep"))),
+               std::to_string(static_cast<std::uint64_t>(
+                   o.value("sim_context_switches"))),
+               metrics::TablePrinter::num(host_ns_per_item[i], 1)});
+  }
+  t.print();
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  // Host timings are machine-dependent: meta only, never in the cells.
+  for (std::size_t i = 0; i < kMicros.size(); ++i) {
+    if (out.at({i}).ran()) {
+      doc.set_meta(std::string("host_ns_per_item_") + kMicros[i].name,
+                   host_ns_per_item[i]);
+    }
+  }
+  return bench::write_results(cli, doc) ? 0 : 1;
+}

@@ -5,15 +5,19 @@
 // magnitude more migrations; VB restores utilization and nearly eliminates
 // migrations (sometimes below the 8T baseline, since parked threads are
 // never balanced).
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/suite.h"
 
 using namespace eo;
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.2);
-  bench::print_header("Table 1", "CPU utilization and migrations");
+  const bench::CliSpec spec{
+      .id = "table1_runtime_stats",
+      .summary = "CPU utilization and migrations under oversubscription",
+      .default_scale = 0.2};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
 
   const auto names = workloads::fig9_benchmarks();
   struct Cfg {
@@ -21,45 +25,65 @@ int main(int argc, char** argv) {
     bool optimized;
   };
   const std::vector<Cfg> cfgs = {{8, false}, {32, false}, {32, true}};
-  struct Out {
-    double util = 0;
-    std::uint64_t in_node = 0, cross = 0;
-  };
-  std::vector<std::vector<Out>> grid(names.size(),
-                                     std::vector<Out>(cfgs.size()));
-  ThreadPool::parallel_for(names.size() * cfgs.size(), [&](std::size_t job) {
-    const auto bi = job / cfgs.size();
-    const auto ci = job % cfgs.size();
-    const auto& spec = workloads::find_benchmark(names[bi]);
-    metrics::RunConfig rc;
-    rc.cpus = 8;
-    rc.sockets = 2;
-    rc.features = cfgs[ci].optimized ? core::Features::optimized()
-                                     : core::Features::vanilla();
-    rc.ref_footprint = spec.ref_footprint();
-    rc.deadline = 600_s;
-    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-      workloads::spawn_benchmark(k, spec, cfgs[ci].threads, 7, scale);
-    });
-    grid[bi][ci] = Out{r.utilization_percent, r.stats.migrations_in_node,
-                       r.stats.migrations_cross_node};
-  });
+  const std::vector<std::string> cfg_labels = {"8T", "32T", "Opt"};
+
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 2;
+  base.deadline = 600_s;
+
+  exp::Sweep sweep("runtime_stats");
+  sweep.base(base)
+      .axis("benchmark", names)
+      .axis("config", cfg_labels,
+            [&](metrics::RunConfig& rc, std::size_t ci) {
+              rc.features = cfgs[ci].optimized ? core::Features::optimized()
+                                               : core::Features::vanilla();
+            });
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Table 1", "CPU utilization and migrations");
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const auto& bspec = workloads::find_benchmark(names[cell.at(0)]);
+        metrics::RunConfig rc = cfg;
+        rc.ref_footprint = bspec.ref_footprint();
+        return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, bspec, cfgs[cell.at(1)].threads,
+                                     cli.seed, cli.scale);
+        });
+      });
 
   metrics::TablePrinter t({"App", "util 8T", "util 32T", "util Opt",
                            "in-migr 8T", "in-migr 32T", "in-migr Opt",
                            "x-migr 8T", "x-migr 32T", "x-migr Opt"});
   for (std::size_t bi = 0; bi < names.size(); ++bi) {
-    t.add_row({names[bi],
-               metrics::TablePrinter::num(grid[bi][0].util, 0),
-               metrics::TablePrinter::num(grid[bi][1].util, 0),
-               metrics::TablePrinter::num(grid[bi][2].util, 0),
-               std::to_string(grid[bi][0].in_node),
-               std::to_string(grid[bi][1].in_node),
-               std::to_string(grid[bi][2].in_node),
-               std::to_string(grid[bi][0].cross),
-               std::to_string(grid[bi][1].cross),
-               std::to_string(grid[bi][2].cross)});
+    if (!out.at({bi, 0}).ran() || !out.at({bi, 1}).ran() ||
+        !out.at({bi, 2}).ran()) {
+      continue;
+    }
+    std::vector<std::string> row = {names[bi]};
+    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+      row.push_back(metrics::TablePrinter::num(
+          out.at({bi, ci}).run.utilization_percent, 0));
+    }
+    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+      row.push_back(std::to_string(out.at({bi, ci}).run.stats.migrations_in_node));
+    }
+    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+      row.push_back(
+          std::to_string(out.at({bi, ci}).run.stats.migrations_cross_node));
+    }
+    t.add_row(row);
   }
   t.print();
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -4,48 +4,71 @@
 // spinning is a "try"; sensitivity = detected / tries. Expected ~99.8%+ for
 // all ten algorithms (the residual misses are windows where the spun-on
 // cacheline was invalidated and recounted as an L1 miss).
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/microbench.h"
 
 using namespace eo;
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.5);
-  const auto hold = static_cast<SimDuration>(4_s * scale);
-  bench::print_header("Table 2", "BWD sensitivity on 10 spinlocks");
+  const bench::CliSpec spec{
+      .id = "table2_bwd_sensitivity",
+      .summary = "BWD sensitivity on 10 spinlocks",
+      .default_scale = 0.5};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  const auto hold = static_cast<SimDuration>(4_s * cli.scale);
 
   const auto& kinds = locks::all_spinlock_kinds();
-  struct Out {
-    std::uint64_t tries = 0, tps = 0;
-  };
-  std::vector<Out> out(kinds.size());
-  ThreadPool::parallel_for(kinds.size(), [&](std::size_t i) {
-    metrics::RunConfig rc;
-    rc.cpus = 1;
-    rc.sockets = 1;
-    rc.features = core::Features::optimized();
-    rc.deadline = hold + 5_s;
-    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-      auto lock = std::shared_ptr<locks::SpinLock>(
-          locks::make_spinlock(kinds[i], k, 2));
-      workloads::spawn_tp_pair(k, lock, hold);
-    });
-    out[i].tries = r.bwd.tp + r.bwd.fn;
-    out[i].tps = r.bwd.tp;
-  });
+  std::vector<std::string> kind_labels;
+  for (const auto k : kinds) kind_labels.emplace_back(locks::to_string(k));
+
+  metrics::RunConfig base;
+  base.cpus = 1;
+  base.sockets = 1;
+  base.features = core::Features::optimized();
+  base.deadline = hold + 5_s;
+
+  exp::Sweep sweep("bwd_sensitivity");
+  sweep.base(base).axis("spinlock", kind_labels);
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Table 2", "BWD sensitivity on 10 spinlocks");
+  const exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        exp::CellRun r(metrics::run_experiment(cfg, [&](kern::Kernel& k) {
+          auto lock = std::shared_ptr<locks::SpinLock>(
+              locks::make_spinlock(kinds[cell.at(0)], k, 2));
+          workloads::spawn_tp_pair(k, lock, hold);
+        }));
+        const auto tries = r.run.bwd.tp + r.run.bwd.fn;
+        r.set("tries", static_cast<double>(tries))
+            .set("tps", static_cast<double>(r.run.bwd.tp))
+            .set("sensitivity_pct",
+                 tries ? 100.0 * static_cast<double>(r.run.bwd.tp) /
+                             static_cast<double>(tries)
+                       : 0.0);
+        return r;
+      });
 
   metrics::TablePrinter t({"Spinlock", "# of Tries", "# of TPs",
                            "Sensitivity(%)"});
   for (std::size_t i = 0; i < kinds.size(); ++i) {
-    const double sens =
-        out[i].tries
-            ? 100.0 * static_cast<double>(out[i].tps) /
-                  static_cast<double>(out[i].tries)
-            : 0.0;
-    t.add_row({locks::to_string(kinds[i]), std::to_string(out[i].tries),
-               std::to_string(out[i].tps), metrics::TablePrinter::num(sens)});
+    const exp::CellOutcome& o = out.at({i});
+    if (!o.ran()) continue;
+    t.add_row({kind_labels[i],
+               std::to_string(static_cast<std::uint64_t>(o.value("tries"))),
+               std::to_string(static_cast<std::uint64_t>(o.value("tps"))),
+               metrics::TablePrinter::num(o.value("sensitivity_pct"))});
   }
   t.print();
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -3,64 +3,78 @@
 // detection is a false positive (the benchmarks' rare tight register loops
 // are the only trigger). Also reports the FP-induced overhead (exec time
 // with BWD vs without) — expected under ~1% — and the timer overhead.
+#include <iostream>
+
 #include "bench_util.h"
-#include "common/thread_pool.h"
 #include "workloads/suite.h"
 
 using namespace eo;
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.3);
-  bench::print_header("Table 3", "BWD specificity on blocking NPB benchmarks");
+  const bench::CliSpec spec{
+      .id = "table3_bwd_specificity",
+      .summary = "BWD specificity on blocking NPB benchmarks",
+      .default_scale = 0.3};
+  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
 
   const std::vector<std::string> names = {"is", "ep", "cg", "mg",
                                           "ft", "sp", "bt", "ua"};
-  struct Out {
-    std::uint64_t tries = 0, fps = 0;
-    double t_bwd = 0, t_plain = 0;
-  };
-  std::vector<Out> out(names.size());
-  ThreadPool::parallel_for(names.size() * 2, [&](std::size_t job) {
-    const auto bi = job / 2;
-    const bool with_bwd = job % 2 == 0;
-    const auto& spec = workloads::find_benchmark(names[bi]);
-    metrics::RunConfig rc;
-    rc.cpus = 8;
-    rc.sockets = 2;
-    core::Features f;  // vanilla blocking, no VB — isolate BWD's effect
-    f.bwd = with_bwd;
-    rc.features = f;
-    rc.ref_footprint = spec.ref_footprint();
-    rc.deadline = 600_s;
-    const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
-      workloads::spawn_benchmark(k, spec, 32, 7, scale);
-    });
-    if (with_bwd) {
-      out[bi].tries = r.bwd.windows;
-      out[bi].fps = r.bwd.fp;
-      out[bi].t_bwd = to_ms(r.exec_time);
-    } else {
-      out[bi].t_plain = to_ms(r.exec_time);
-    }
-  });
+
+  metrics::RunConfig base;
+  base.cpus = 8;
+  base.sockets = 2;
+  base.deadline = 600_s;
+
+  exp::Sweep sweep("bwd_specificity");
+  sweep.base(base)
+      .axis("benchmark", names)
+      .axis("bwd", {"on", "off"},
+            [](metrics::RunConfig& rc, std::size_t i) {
+              core::Features f;  // vanilla blocking, no VB — isolate BWD
+              f.bwd = i == 0;
+              rc.features = f;
+            });
+
+  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  if (cli.list) {
+    runner.list(std::cout);
+    return 0;
+  }
+
+  bench::print_header("Table 3", "BWD specificity on blocking NPB benchmarks");
+  exp::Outcomes out = runner.run(
+      [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
+        const auto& bspec = workloads::find_benchmark(names[cell.at(0)]);
+        metrics::RunConfig rc = cfg;
+        rc.ref_footprint = bspec.ref_footprint();
+        return metrics::run_experiment(rc, [&](kern::Kernel& k) {
+          workloads::spawn_benchmark(k, bspec, 32, cli.seed, cli.scale);
+        });
+      });
 
   metrics::TablePrinter t({"App", "# of Tries", "# of FPs", "Specificity(%)",
                            "FP+timer overhead(%)"});
   for (std::size_t bi = 0; bi < names.size(); ++bi) {
-    const auto negatives = out[bi].tries;  // no true spinning in these apps
+    exp::CellOutcome& on = out.at({bi, 0});
+    const exp::CellOutcome& off = out.at({bi, 1});
+    if (!on.ran() || !off.ran()) continue;
+    const auto negatives = on.run.bwd.windows;  // no true spinning here
     const double spec_pct =
-        negatives ? 100.0 * static_cast<double>(negatives - out[bi].fps) /
+        negatives ? 100.0 * static_cast<double>(negatives - on.run.bwd.fp) /
                         static_cast<double>(negatives)
                   : 0.0;
     const double overhead =
-        out[bi].t_plain > 0
-            ? (out[bi].t_bwd - out[bi].t_plain) / out[bi].t_plain * 100.0
-            : 0.0;
-    t.add_row({names[bi], std::to_string(out[bi].tries),
-               std::to_string(out[bi].fps),
+        off.ms() > 0 ? (on.ms() - off.ms()) / off.ms() * 100.0 : 0.0;
+    on.set("specificity_pct", spec_pct);
+    on.set("overhead_pct", overhead);
+    t.add_row({names[bi], std::to_string(negatives),
+               std::to_string(on.run.bwd.fp),
                metrics::TablePrinter::num(spec_pct),
                metrics::TablePrinter::num(overhead)});
   }
   t.print();
-  return 0;
+
+  exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
+  doc.add_sweep(sweep, out);
+  return bench::write_results(cli, doc) ? 0 : 1;
 }

@@ -1,0 +1,145 @@
+#include "exp/cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace eo::exp {
+
+namespace {
+
+/// Strict positive-double parse: the whole string must be consumed.
+bool parse_scale_str(const std::string& s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size() || s.empty()) return false;
+  if (!(v > 0)) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict non-negative integer parse.
+bool parse_uint_str(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (s[0] == '-' || s[0] == '+') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string Cli::usage(const CliSpec& spec) {
+  std::ostringstream os;
+  os << "usage: " << spec.id << " [scale] [options]\n"
+     << "  " << spec.summary << "\n\n"
+     << "  scale                positive work multiplier (default "
+     << spec.default_scale << ")\n"
+     << "  --json=<path>        write the result grid as a versioned JSON "
+        "document\n"
+     << "  --jobs=N             host threads for the sweep (default: all "
+        "cores)\n"
+     << "  --filter=<substr>    run only cells whose id contains <substr>\n"
+     << "  --list               print the cell ids and exit\n"
+     << "  --seed=N             workload seed (default " << spec.default_seed
+     << ")\n";
+  if (spec.supports_trace) {
+    os << "  --trace=<path>       capture an event trace of one "
+          "representative run\n"
+       << "  --trace-format=F     trace export format: json|csv (default "
+          "json)\n"
+       << "  --trace-only         skip the figure grid, run only the traced "
+          "config\n";
+  }
+  os << "  --help               show this help\n";
+  return os.str();
+}
+
+bool Cli::parse_into(int argc, char** argv, const CliSpec& spec, Cli* out,
+                     std::string* err) {
+  out->scale = spec.default_scale;
+  out->seed = spec.default_seed;
+  bool have_scale = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.empty()) continue;
+    if (arg[0] != '-') {
+      if (have_scale) {
+        *err = "unexpected extra positional argument '" + arg + "'";
+        return false;
+      }
+      if (!parse_scale_str(arg, &out->scale)) {
+        *err = "invalid scale '" + arg + "' (want a positive number)";
+        return false;
+      }
+      have_scale = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out->json_path = arg.substr(7);
+      if (out->json_path.empty()) {
+        *err = "empty --json= path";
+        return false;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_uint_str(arg.substr(7), &n)) {
+        *err = "invalid --jobs value '" + arg.substr(7) +
+               "' (want a non-negative integer)";
+        return false;
+      }
+      out->jobs = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      out->filter = arg.substr(9);
+    } else if (arg == "--list") {
+      out->list = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!parse_uint_str(arg.substr(7), &out->seed)) {
+        *err = "invalid --seed value '" + arg.substr(7) +
+               "' (want a non-negative integer)";
+        return false;
+      }
+    } else if (spec.supports_trace && arg.rfind("--trace=", 0) == 0) {
+      out->trace_path = arg.substr(8);
+      if (out->trace_path.empty()) {
+        *err = "empty --trace= path";
+        return false;
+      }
+    } else if (spec.supports_trace && arg.rfind("--trace-format=", 0) == 0) {
+      out->trace_format = arg.substr(15);
+      if (out->trace_format != "json" && out->trace_format != "csv") {
+        *err = "--trace-format must be 'json' or 'csv' (got '" +
+               out->trace_format + "')";
+        return false;
+      }
+    } else if (spec.supports_trace && arg == "--trace-only") {
+      out->trace_only = true;
+    } else {
+      *err = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+Cli Cli::parse(int argc, char** argv, const CliSpec& spec) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::fputs(usage(spec).c_str(), stdout);
+      std::exit(0);
+    }
+  }
+  Cli cli;
+  std::string err;
+  if (!parse_into(argc, argv, spec, &cli, &err)) {
+    std::fprintf(stderr, "%s: error: %s\n\n%s", spec.id.c_str(), err.c_str(),
+                 usage(spec).c_str());
+    std::exit(2);
+  }
+  return cli;
+}
+
+}  // namespace eo::exp

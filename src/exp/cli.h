@@ -1,0 +1,70 @@
+// Uniform command line for the bench binaries.
+//
+//   <bench> [scale] [--json=<path>] [--jobs=N] [--filter=<substr>] [--list]
+//           [--seed=N] [--trace=<path>] [--trace-format=json|csv]
+//           [--trace-only] [--help]
+//
+// The positional `scale` multiplies the simulated work (rounds, requests);
+// it must be a plain positive number — `0.5x` or `abc` are errors, not
+// silently coerced. Every argument error prints the usage text to stderr and
+// exits with status 2; `--help` prints it to stdout and exits 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/runner.h"
+
+namespace eo::exp {
+
+/// Static description of one bench binary.
+struct CliSpec {
+  /// Bench id, e.g. "fig09_vb_blocking" (names the JSON document).
+  std::string id;
+  /// One-line description shown in the usage text.
+  std::string summary;
+  double default_scale = 1.0;
+  std::uint64_t default_seed = 7;
+  /// Whether the bench accepts the --trace* flags.
+  bool supports_trace = false;
+};
+
+class Cli {
+ public:
+  double scale = 1.0;
+  std::uint64_t seed = 7;
+  /// Host threads for the sweep fan-out (0 = hardware_concurrency).
+  std::size_t jobs = 0;
+  /// Destination for the machine-readable result document; empty = off.
+  std::string json_path;
+  /// Substring filter on cell ids; empty runs everything.
+  std::string filter;
+  /// Print the cell ids and exit without running.
+  bool list = false;
+  std::string trace_path;  ///< empty = tracing off
+  std::string trace_format = "json";
+  bool trace_only = false;
+
+  bool tracing() const { return !trace_path.empty(); }
+
+  RunnerOptions runner_options() const {
+    RunnerOptions o;
+    o.jobs = jobs;
+    o.filter = filter;
+    return o;
+  }
+
+  /// Usage text for the spec (the --help / error output).
+  static std::string usage(const CliSpec& spec);
+
+  /// Parses into `out`; returns false with a reason in `err` on any argument
+  /// error. Does not print or exit (the testable core of `parse`).
+  static bool parse_into(int argc, char** argv, const CliSpec& spec, Cli* out,
+                         std::string* err);
+
+  /// Parses or dies: argument errors print the reason + usage to stderr and
+  /// exit 2; `--help` prints usage to stdout and exits 0.
+  static Cli parse(int argc, char** argv, const CliSpec& spec);
+};
+
+}  // namespace eo::exp

@@ -1,0 +1,75 @@
+#include "exp/sweep.h"
+
+#include "common/logging.h"
+
+namespace eo::exp {
+
+std::string Cell::id() const {
+  std::string out;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (i > 0) out += '/';
+    out += coords[i];
+  }
+  return out;
+}
+
+Sweep& Sweep::axis(std::string axis_name, std::vector<std::string> labels,
+                   Apply apply) {
+  EO_CHECK(!labels.empty());
+  for (const auto& l : labels) EO_CHECK(!l.empty());
+  axes_.push_back(Axis{std::move(axis_name), std::move(labels),
+                       std::move(apply)});
+  return *this;
+}
+
+std::size_t Sweep::size() const {
+  std::size_t n = 1;
+  for (const auto& a : axes_) n *= a.labels.size();
+  return n;
+}
+
+std::vector<std::size_t> Sweep::dims() const {
+  std::vector<std::size_t> d;
+  d.reserve(axes_.size());
+  for (const auto& a : axes_) d.push_back(a.labels.size());
+  return d;
+}
+
+std::size_t Sweep::flat_index(std::initializer_list<std::size_t> idx) const {
+  EO_CHECK(idx.size() == axes_.size());
+  std::size_t flat = 0;
+  std::size_t axis = 0;
+  for (const std::size_t i : idx) {
+    EO_CHECK(i < axes_[axis].labels.size());
+    flat = flat * axes_[axis].labels.size() + i;
+    ++axis;
+  }
+  return flat;
+}
+
+std::vector<Cell> Sweep::expand() const {
+  const std::size_t n = size();
+  std::vector<Cell> cells;
+  cells.reserve(n);
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  for (std::size_t flat = 0; flat < n; ++flat) {
+    Cell c;
+    c.flat = flat;
+    c.idx = idx;
+    c.cfg = base_;
+    c.coords.reserve(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      c.coords.push_back(axes_[a].labels[idx[a]]);
+      if (axes_[a].apply) axes_[a].apply(c.cfg, idx[a]);
+    }
+    cells.push_back(std::move(c));
+    // Odometer increment, last axis fastest.
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      if (++idx[a] < axes_[a].labels.size()) break;
+      idx[a] = 0;
+    }
+  }
+  return cells;
+}
+
+}  // namespace eo::exp

@@ -1,0 +1,91 @@
+// Declarative sweep grids for the bench harnesses.
+//
+// A bench declares its experiment as a `Sweep`: a base `metrics::RunConfig`
+// plus named axes (benchmark × threads × cores/SMT × features × seed × ...).
+// Each axis value carries a label (used for table headers, cell ids, JSON
+// coordinates, and `--filter`) and an optional applier that edits the
+// RunConfig for that value. `expand()` produces the full cross product in a
+// stable row-major order (first axis slowest), which is the canonical job
+// order of the ExperimentRunner and the cell order of the JSON document —
+// results are therefore independent of `--jobs`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.h"
+
+namespace eo::exp {
+
+/// One point of a sweep grid.
+struct Cell {
+  /// Row-major flattened index into the grid (stable job order).
+  std::size_t flat = 0;
+  /// Per-axis value index, one entry per axis.
+  std::vector<std::size_t> idx;
+  /// Per-axis value label, one entry per axis.
+  std::vector<std::string> coords;
+  /// Base config with every axis applier applied, in axis order.
+  metrics::RunConfig cfg;
+
+  /// Value index on the given axis (benches use this to look up their own
+  /// per-axis data, e.g. a BenchmarkSpec).
+  std::size_t at(std::size_t axis) const { return idx[axis]; }
+
+  /// Coordinate path, e.g. "ocean/32T(opt-8c)" — the `--filter` match target.
+  std::string id() const;
+};
+
+class Sweep {
+ public:
+  /// Edits the RunConfig for the axis value with the given index.
+  using Apply = std::function<void(metrics::RunConfig&, std::size_t)>;
+
+  explicit Sweep(std::string name) : name_(std::move(name)) {}
+
+  /// Sets the config every cell starts from (default-constructed otherwise).
+  Sweep& base(const metrics::RunConfig& rc) {
+    base_ = rc;
+    return *this;
+  }
+
+  /// Appends an axis. Labels must be non-empty and unique within the axis;
+  /// `apply` may be null for axes that only select bench-side data.
+  Sweep& axis(std::string axis_name, std::vector<std::string> labels,
+              Apply apply = nullptr);
+
+  const std::string& name() const { return name_; }
+  const metrics::RunConfig& base_config() const { return base_; }
+  std::size_t n_axes() const { return axes_.size(); }
+  const std::string& axis_name(std::size_t axis) const {
+    return axes_[axis].name;
+  }
+  const std::vector<std::string>& labels(std::size_t axis) const {
+    return axes_[axis].labels;
+  }
+  /// Number of cells (product of axis sizes; 1 for a zero-axis sweep).
+  std::size_t size() const;
+  /// Axis sizes, outermost first.
+  std::vector<std::size_t> dims() const;
+  /// Row-major flattened index of a coordinate tuple.
+  std::size_t flat_index(std::initializer_list<std::size_t> idx) const;
+
+  /// Expands the grid: cells in row-major order, first axis slowest.
+  std::vector<Cell> expand() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<std::string> labels;
+    Apply apply;
+  };
+
+  std::string name_;
+  metrics::RunConfig base_;
+  std::vector<Axis> axes_;
+};
+
+}  // namespace eo::exp

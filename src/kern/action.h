@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <variant>
 #include <vector>
 
@@ -71,11 +70,73 @@ struct AtomicAction {
   std::uint64_t b = 0;
 };
 
+/// Predicate over a SimWord value for spin loops, as a flat value type.
+///
+/// Spin setup is one of the simulator's hottest paths (every lock acquisition
+/// and barrier wait issues one); a `std::function` here heap-allocated on the
+/// host for every capturing predicate. The common comparisons are expressed
+/// as a kind enum, and anything richer goes through a capture-free function
+/// pointer with one 64-bit argument — no allocation in either case.
+class SpinPredicate {
+ public:
+  using Fn = bool (*)(std::uint64_t value, std::uint64_t arg);
+
+  /// Default: "until nonzero" (never relied upon; actions always set one).
+  constexpr SpinPredicate() : SpinPredicate(Kind::kNe, 0, 0, nullptr) {}
+
+  static constexpr SpinPredicate eq(std::uint64_t v) {
+    return {Kind::kEq, v, 0, nullptr};
+  }
+  static constexpr SpinPredicate ne(std::uint64_t v) {
+    return {Kind::kNe, v, 0, nullptr};
+  }
+  static constexpr SpinPredicate ge(std::uint64_t v) {
+    return {Kind::kGe, v, 0, nullptr};
+  }
+  /// True when `(value & mask) == want`.
+  static constexpr SpinPredicate masked_eq(std::uint64_t mask,
+                                           std::uint64_t want) {
+    return {Kind::kMaskedEq, want, mask, nullptr};
+  }
+  /// Escape hatch for shapes the enum does not cover; `fn` must be a plain
+  /// function (or capture-free lambda) and receives `arg` alongside the value.
+  static constexpr SpinPredicate fn(Fn f, std::uint64_t arg = 0) {
+    return {Kind::kFn, arg, 0, f};
+  }
+
+  bool operator()(std::uint64_t value) const {
+    switch (kind_) {
+      case Kind::kEq:
+        return value == a_;
+      case Kind::kNe:
+        return value != a_;
+      case Kind::kGe:
+        return value >= a_;
+      case Kind::kMaskedEq:
+        return (value & b_) == a_;
+      case Kind::kFn:
+        return fn_(value, a_);
+    }
+    return false;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kEq, kNe, kGe, kMaskedEq, kFn };
+
+  constexpr SpinPredicate(Kind k, std::uint64_t a, std::uint64_t b, Fn f)
+      : kind_(k), a_(a), b_(b), fn_(f) {}
+
+  Kind kind_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+  Fn fn_;
+};
+
 /// Busy-wait until `pred(word value)` is true. The task occupies its core
 /// while spinning (this is the pathology BWD addresses).
 struct SpinUntilAction {
   SimWord* word = nullptr;
-  std::function<bool(std::uint64_t)> pred;
+  SpinPredicate pred;
   hw::BranchSite site = 0;
   /// Body contains PAUSE/NOP (visible to PLE in VM mode).
   bool uses_pause = false;

@@ -69,8 +69,8 @@ class MutexeeLock final : public BlockingLock {
       if (won) co_return;
       // Spin phase (with PAUSE) bounded by the spin budget.
       const std::uint64_t ok = co_await env.spin_until_timeout(
-          state_, [](std::uint64_t v) { return (v & 1) == 0; }, site_,
-          kSpinBudget, /*uses_pause=*/true);
+          state_, kern::SpinPredicate::masked_eq(/*mask=*/1, /*want=*/0),
+          site_, kSpinBudget, /*uses_pause=*/true);
       if (ok) continue;  // lock looked free; retry the CAS
       // Park: advertise a sleeper (bit 1) and futex-wait. CAS so a release
       // racing between the load and the store is not overwritten.
@@ -123,8 +123,8 @@ class McsTpLock final : public BlockingLock {
     for (;;) {
       // Time-published spin: spin for a budget, then park on the flag.
       const std::uint64_t got = co_await env.spin_until_timeout(
-          flag_[static_cast<size_t>(slot)],
-          [](std::uint64_t v) { return v == 1; }, site_, kSpinBudget);
+          flag_[static_cast<size_t>(slot)], kern::SpinPredicate::eq(1), site_,
+          kSpinBudget);
       if (got) break;
       const std::uint64_t v = co_await env.load(flag_[static_cast<size_t>(slot)]);
       if (v == 1) break;
@@ -178,8 +178,8 @@ class ShflLock final : public BlockingLock {
       // Head waiter spins briefly (shufflers run in the waiting phase in the
       // real lock; the reorder cost is charged at wake time here).
       const std::uint64_t got = co_await env.spin_until_timeout(
-          flag_[static_cast<size_t>(slot)],
-          [](std::uint64_t v) { return v == 1; }, site_, kSpinBudget);
+          flag_[static_cast<size_t>(slot)], kern::SpinPredicate::eq(1), site_,
+          kSpinBudget);
       if (got) break;
       const std::uint64_t before = co_await env.load(flag_[static_cast<size_t>(slot)]);
       if (before == 1) break;

@@ -237,9 +237,8 @@ class McsLock final : public SpinLock {
       }
       // A successor swapped the tail but has not linked yet; spin briefly on
       // our link word until it does.
-      co_await env.spin_until(
-          link_[static_cast<size_t>(slot)],
-          [](std::uint64_t v) { return v != 0; }, site_);
+      co_await env.spin_until(link_[static_cast<size_t>(slot)],
+                              kern::SpinPredicate::ne(0), site_);
       link = co_await env.load(link_[static_cast<size_t>(slot)]);
     }
     const auto succ = static_cast<size_t>(link - 1);

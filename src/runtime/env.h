@@ -70,29 +70,27 @@ class Env {
   // --- busy waiting ---
   /// Spins until `pred(word value)` holds. `site` identifies the static spin
   /// loop (for the LBR model); `uses_pause` marks PAUSE/NOP-based bodies
-  /// (visible to PLE in VM mode).
-  ActionAwaiter spin_until(kern::SimWord* w,
-                           std::function<bool(std::uint64_t)> pred,
+  /// (visible to PLE in VM mode). `pred` is a flat kern::SpinPredicate value
+  /// (eq/ne/ge/masked_eq or a function pointer) — no per-spin allocation.
+  ActionAwaiter spin_until(kern::SimWord* w, kern::SpinPredicate pred,
                            hw::BranchSite site, bool uses_pause = false) const {
-    return {t_, kern::SpinUntilAction{w, std::move(pred), site, uses_pause,
+    return {t_, kern::SpinUntilAction{w, pred, site, uses_pause,
                                       -1, false, 0}};
   }
 
   /// Bounded spin: gives up after `timeout`; resumes with 1 on success, 0 on
   /// timeout (the spin-then-park pattern of Mutexee / MCS-TP / SHFLLOCK).
-  ActionAwaiter spin_until_timeout(kern::SimWord* w,
-                                   std::function<bool(std::uint64_t)> pred,
+  ActionAwaiter spin_until_timeout(kern::SimWord* w, kern::SpinPredicate pred,
                                    hw::BranchSite site, SimDuration timeout,
                                    bool uses_pause = false) const {
-    return {t_, kern::SpinUntilAction{w, std::move(pred), site, uses_pause,
+    return {t_, kern::SpinUntilAction{w, pred, site, uses_pause,
                                       k_->now() + timeout, false, 0}};
   }
   /// Convenience: spin until the word equals `v`.
   ActionAwaiter spin_until_eq(kern::SimWord* w, std::uint64_t v,
                               hw::BranchSite site,
                               bool uses_pause = false) const {
-    return spin_until(
-        w, [v](std::uint64_t x) { return x == v; }, site, uses_pause);
+    return spin_until(w, kern::SpinPredicate::eq(v), site, uses_pause);
   }
 
   // --- blocking ---

@@ -29,9 +29,8 @@ SimCall<void> SpinBarrier::wait(Env env) {
     co_await env.store(sense_, my_sense + 1);  // releases the spinners
     co_return;
   }
-  co_await env.spin_until(
-      sense_, [my_sense](std::uint64_t s) { return s != my_sense; }, site_,
-      pause_);
+  co_await env.spin_until(sense_, kern::SpinPredicate::ne(my_sense), site_,
+                          pause_);
   co_return;
 }
 

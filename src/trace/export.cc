@@ -1,12 +1,13 @@
 #include "trace/export.h"
 
-#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <vector>
+
+#include "common/json.h"
 
 namespace eo::trace {
 
@@ -21,35 +22,7 @@ std::string us(SimTime ns) {
   return buf;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 }  // namespace
 
@@ -166,256 +139,40 @@ bool export_to_file(const Trace& t, const std::string& path,
   return true;
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser for the validator. Parses the full grammar (objects,
-// arrays, strings with escapes, numbers, true/false/null); the caller then
-// checks the trace-event envelope on a pared-down DOM.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-struct JsonValue;
-using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
-
-struct JsonValue {
-  enum Type { kNull, kBool, kNumber, kString, kArray, kObject } type = kNull;
-  std::string str;                 // kString
-  double num = 0;                  // kNumber
-  bool b = false;                  // kBool
-  std::vector<JsonValue> items;    // kArray
-  JsonObject fields;               // kObject
-
-  const JsonValue* get(const std::string& key) const {
-    for (const auto& [k, v] : fields) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(JsonValue* out, std::string* err) {
-    skip_ws();
-    if (!value(out)) {
-      if (err != nullptr) {
-        *err = "JSON parse error near offset " + std::to_string(pos_) + ": " +
-               err_;
-      }
-      return false;
-    }
-    skip_ws();
-    if (pos_ != s_.size()) {
-      if (err != nullptr) {
-        *err = "trailing garbage at offset " + std::to_string(pos_);
-      }
-      return false;
-    }
-    return true;
-  }
-
- private:
-  bool fail(const char* why) {
-    if (err_.empty()) err_ = why;
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return fail("bad literal");
-    pos_ += n;
-    return true;
-  }
-
-  bool value(JsonValue* out) {
-    if (pos_ >= s_.size()) return fail("unexpected end");
-    const char c = s_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out->type = JsonValue::kString;
-      return string(&out->str);
-    }
-    if (c == 't') {
-      out->type = JsonValue::kBool;
-      out->b = true;
-      return literal("true");
-    }
-    if (c == 'f') {
-      out->type = JsonValue::kBool;
-      out->b = false;
-      return literal("false");
-    }
-    if (c == 'n') {
-      out->type = JsonValue::kNull;
-      return literal("null");
-    }
-    return number(out);
-  }
-
-  bool object(JsonValue* out) {
-    out->type = JsonValue::kObject;
-    consume('{');
-    skip_ws();
-    if (consume('}')) return true;
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (!string(&key)) return fail("expected object key");
-      skip_ws();
-      if (!consume(':')) return fail("expected ':'");
-      skip_ws();
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->fields.emplace_back(std::move(key), std::move(v));
-      skip_ws();
-      if (consume(',')) continue;
-      if (consume('}')) return true;
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  bool array(JsonValue* out) {
-    out->type = JsonValue::kArray;
-    consume('[');
-    skip_ws();
-    if (consume(']')) return true;
-    for (;;) {
-      skip_ws();
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->items.push_back(std::move(v));
-      skip_ws();
-      if (consume(',')) continue;
-      if (consume(']')) return true;
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool string(std::string* out) {
-    if (!consume('"')) return fail("expected string");
-    out->clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char");
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) return fail("dangling escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"':
-        case '\\':
-        case '/':
-          out->push_back(e);
-          break;
-        case 'n':
-          out->push_back('\n');
-          break;
-        case 't':
-          out->push_back('\t');
-          break;
-        case 'r':
-          out->push_back('\r');
-          break;
-        case 'b':
-        case 'f':
-          out->push_back(' ');
-          break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) return fail("short \\u escape");
-          for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
-              return fail("bad \\u escape");
-            }
-          }
-          pos_ += 4;
-          out->push_back('?');  // validation only needs well-formedness
-          break;
-        }
-        default:
-          return fail("bad escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool number(JsonValue* out) {
-    const std::size_t start = pos_;
-    if (consume('-')) {
-    }
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("expected value");
-    char* end = nullptr;
-    const std::string tok = s_.substr(start, pos_ - start);
-    out->num = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0') return fail("bad number");
-    out->type = JsonValue::kNumber;
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-  std::string err_;
-};
-
-}  // namespace
-
+// The JSON grammar itself is handled by the shared parser in common/json.h;
+// this function checks the Chrome trace-event envelope on the parsed DOM.
 bool validate_chrome_trace_json(const std::string& text, std::string* err) {
-  JsonValue root;
-  if (!JsonParser(text).parse(&root, err)) return false;
-  if (root.type != JsonValue::kObject) {
+  json::Value root;
+  if (!json::parse(text, &root, err)) return false;
+  if (!root.is_object()) {
     if (err != nullptr) *err = "root is not an object";
     return false;
   }
-  const JsonValue* events = root.get("traceEvents");
-  if (events == nullptr || events->type != JsonValue::kArray) {
+  const json::Value* events = root.get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
     if (err != nullptr) *err = "missing traceEvents array";
     return false;
   }
   for (std::size_t i = 0; i < events->items.size(); ++i) {
-    const JsonValue& e = events->items[i];
+    const json::Value& e = events->items[i];
     const std::string at = "traceEvents[" + std::to_string(i) + "]";
-    if (e.type != JsonValue::kObject) {
+    if (!e.is_object()) {
       if (err != nullptr) *err = at + " is not an object";
       return false;
     }
-    const JsonValue* ph = e.get("ph");
-    const JsonValue* name = e.get("name");
-    if (ph == nullptr || ph->type != JsonValue::kString || ph->str.empty()) {
+    const json::Value* ph = e.get("ph");
+    const json::Value* name = e.get("name");
+    if (ph == nullptr || !ph->is_string() || ph->str.empty()) {
       if (err != nullptr) *err = at + " lacks a string \"ph\"";
       return false;
     }
-    if (name == nullptr || name->type != JsonValue::kString) {
+    if (name == nullptr || !name->is_string()) {
       if (err != nullptr) *err = at + " lacks a string \"name\"";
       return false;
     }
     if (ph->str != "M") {  // metadata events carry no timestamp
-      const JsonValue* ts = e.get("ts");
-      if (ts == nullptr || ts->type != JsonValue::kNumber || ts->num < 0) {
+      const json::Value* ts = e.get("ts");
+      if (ts == nullptr || !ts->is_number() || ts->num < 0) {
         if (err != nullptr) *err = at + " lacks a non-negative numeric \"ts\"";
         return false;
       }

@@ -32,17 +32,15 @@ SimThread stage_worker(Env env, std::shared_ptr<PipeState> st,
     if (prev != nullptr) {
       // Wait for the input item.
       const auto need = static_cast<std::uint64_t>(item) + 1;
-      co_await env.spin_until(
-          prev, [need](std::uint64_t v) { return v >= need; }, site,
-          cfg.uses_pause);
+      co_await env.spin_until(prev, kern::SpinPredicate::ge(need), site,
+                              cfg.uses_pause);
     }
     if (succ != nullptr && item >= cfg.buffer) {
       // Backpressure: do not run more than `buffer` items ahead of the
       // consumer (bounded inter-stage queue).
       const auto floor = static_cast<std::uint64_t>(item - cfg.buffer) + 1;
-      co_await env.spin_until(
-          succ, [floor](std::uint64_t v) { return v >= floor; }, site,
-          cfg.uses_pause);
+      co_await env.spin_until(succ, kern::SpinPredicate::ge(floor), site,
+                              cfg.uses_pause);
     }
     co_await env.compute(cfg.stage_work);
     co_await env.store(mine, static_cast<std::uint64_t>(item) + 1);

@@ -390,9 +390,8 @@ SimThread bench_worker(Env env, std::shared_ptr<BenchState> st,
       for (int r = 0; r < p.rounds; ++r) {
         const std::uint64_t need =
             static_cast<std::uint64_t>(r) + (p.idx == 0 ? 0 : 1);
-        co_await env.spin_until(
-            pw, [need](std::uint64_t v) { return v >= need; }, site,
-            spec.spin_uses_pause);
+        co_await env.spin_until(pw, kern::SpinPredicate::ge(need), site,
+                                spec.spin_uses_pause);
         co_await do_chunk(env, p, rng);
         co_await env.store(mine, static_cast<std::uint64_t>(r) + 1);
       }

@@ -1,0 +1,159 @@
+// bench::Cli argument parsing: strict scale/seed/jobs parses (no silent
+// coercion of "0.5x" or "abc"), flag gating (--trace* only when the spec
+// supports tracing), and defaults from the CliSpec.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/cli.h"
+
+namespace eo {
+namespace {
+
+using exp::Cli;
+using exp::CliSpec;
+
+CliSpec plain_spec() {
+  CliSpec s;
+  s.id = "bench_under_test";
+  s.summary = "test spec";
+  s.default_scale = 0.25;
+  s.default_seed = 42;
+  return s;
+}
+
+CliSpec trace_spec() {
+  CliSpec s = plain_spec();
+  s.supports_trace = true;
+  return s;
+}
+
+bool try_parse(std::vector<std::string> args, const CliSpec& spec, Cli* out,
+               std::string* err) {
+  args.insert(args.begin(), spec.id);
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return Cli::parse_into(static_cast<int>(argv.size()), argv.data(), spec, out,
+                         err);
+}
+
+TEST(CliTest, DefaultsComeFromSpec) {
+  Cli cli;
+  std::string err;
+  ASSERT_TRUE(try_parse({}, plain_spec(), &cli, &err)) << err;
+  EXPECT_DOUBLE_EQ(cli.scale, 0.25);
+  EXPECT_EQ(cli.seed, 42u);
+  EXPECT_EQ(cli.jobs, 0u);
+  EXPECT_TRUE(cli.json_path.empty());
+  EXPECT_TRUE(cli.filter.empty());
+  EXPECT_FALSE(cli.list);
+  EXPECT_FALSE(cli.tracing());
+}
+
+TEST(CliTest, ParsesFullFlagSet) {
+  Cli cli;
+  std::string err;
+  ASSERT_TRUE(try_parse({"2.5", "--json=out.json", "--jobs=4",
+                         "--filter=ocean/", "--list", "--seed=9"},
+                        plain_spec(), &cli, &err))
+      << err;
+  EXPECT_DOUBLE_EQ(cli.scale, 2.5);
+  EXPECT_EQ(cli.json_path, "out.json");
+  EXPECT_EQ(cli.jobs, 4u);
+  EXPECT_EQ(cli.filter, "ocean/");
+  EXPECT_TRUE(cli.list);
+  EXPECT_EQ(cli.seed, 9u);
+}
+
+TEST(CliTest, RejectsGarbageScale) {
+  Cli cli;
+  std::string err;
+  // The old parse_scale accepted "0.5x" (as 0.5) and ignored "abc" — both
+  // must now be hard errors.
+  EXPECT_FALSE(try_parse({"0.5x"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("invalid scale"), std::string::npos);
+  EXPECT_FALSE(try_parse({"abc"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("invalid scale"), std::string::npos);
+  EXPECT_FALSE(try_parse({"0"}, plain_spec(), &cli, &err));
+  EXPECT_FALSE(try_parse({"-1"}, plain_spec(), &cli, &err));
+}
+
+TEST(CliTest, RejectsExtraPositional) {
+  Cli cli;
+  std::string err;
+  EXPECT_FALSE(try_parse({"1.0", "2.0"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("extra positional"), std::string::npos);
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  Cli cli;
+  std::string err;
+  EXPECT_FALSE(try_parse({"--bogus"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+}
+
+TEST(CliTest, RejectsNonIntegerJobsAndSeed) {
+  Cli cli;
+  std::string err;
+  EXPECT_FALSE(try_parse({"--jobs=two"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("--jobs"), std::string::npos);
+  EXPECT_FALSE(try_parse({"--jobs=-1"}, plain_spec(), &cli, &err));
+  EXPECT_FALSE(try_parse({"--seed=1.5"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("--seed"), std::string::npos);
+}
+
+TEST(CliTest, RejectsEmptyJsonPath) {
+  Cli cli;
+  std::string err;
+  EXPECT_FALSE(try_parse({"--json="}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("--json"), std::string::npos);
+}
+
+TEST(CliTest, TraceFlagsGatedBySpec) {
+  Cli cli;
+  std::string err;
+  // Not supported: --trace* reads as an unknown flag.
+  EXPECT_FALSE(try_parse({"--trace=t.json"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+  EXPECT_FALSE(try_parse({"--trace-only"}, plain_spec(), &cli, &err));
+  // Supported: parses into the trace fields.
+  ASSERT_TRUE(try_parse({"--trace=t.json", "--trace-format=csv",
+                         "--trace-only"},
+                        trace_spec(), &cli, &err))
+      << err;
+  EXPECT_TRUE(cli.tracing());
+  EXPECT_EQ(cli.trace_path, "t.json");
+  EXPECT_EQ(cli.trace_format, "csv");
+  EXPECT_TRUE(cli.trace_only);
+}
+
+TEST(CliTest, RejectsBadTraceFormat) {
+  Cli cli;
+  std::string err;
+  EXPECT_FALSE(try_parse({"--trace-format=xml"}, trace_spec(), &cli, &err));
+  EXPECT_NE(err.find("--trace-format"), std::string::npos);
+  EXPECT_FALSE(try_parse({"--trace="}, trace_spec(), &cli, &err));
+}
+
+TEST(CliTest, RunnerOptionsCarryJobsAndFilter) {
+  Cli cli;
+  std::string err;
+  ASSERT_TRUE(try_parse({"--jobs=3", "--filter=lu"}, plain_spec(), &cli, &err))
+      << err;
+  const exp::RunnerOptions o = cli.runner_options();
+  EXPECT_EQ(o.jobs, 3u);
+  EXPECT_EQ(o.filter, "lu");
+}
+
+TEST(CliTest, UsageMentionsTraceFlagsOnlyWhenSupported) {
+  const std::string plain = Cli::usage(plain_spec());
+  const std::string traced = Cli::usage(trace_spec());
+  EXPECT_EQ(plain.find("--trace"), std::string::npos);
+  EXPECT_NE(traced.find("--trace"), std::string::npos);
+  EXPECT_NE(plain.find("--json"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eo

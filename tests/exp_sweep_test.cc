@@ -1,0 +1,105 @@
+// Sweep grid semantics: expansion is row-major with the first axis slowest,
+// appliers edit the base config in axis order, and flat indices are stable —
+// the contract the runner's `--jobs` independence rests on.
+#include <gtest/gtest.h>
+
+#include "exp/sweep.h"
+
+namespace eo {
+namespace {
+
+using exp::Cell;
+using exp::Sweep;
+
+TEST(SweepTest, ZeroAxisSweepHasOneCell) {
+  Sweep s("empty");
+  EXPECT_EQ(s.size(), 1u);
+  const auto cells = s.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].flat, 0u);
+  EXPECT_TRUE(cells[0].idx.empty());
+  EXPECT_TRUE(cells[0].coords.empty());
+}
+
+TEST(SweepTest, ExpansionIsRowMajorLastAxisFastest) {
+  Sweep s("grid");
+  s.axis("outer", {"a", "b"}).axis("inner", {"x", "y", "z"});
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.dims(), (std::vector<std::size_t>{2, 3}));
+
+  const auto cells = s.expand();
+  ASSERT_EQ(cells.size(), 6u);
+  const std::vector<std::pair<std::size_t, std::size_t>> want = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].flat, i);
+    ASSERT_EQ(cells[i].idx.size(), 2u);
+    EXPECT_EQ(cells[i].at(0), want[i].first);
+    EXPECT_EQ(cells[i].at(1), want[i].second);
+  }
+  EXPECT_EQ(cells[0].id(), "a/x");
+  EXPECT_EQ(cells[1].id(), "a/y");
+  EXPECT_EQ(cells[3].id(), "b/x");
+  EXPECT_EQ(cells[5].id(), "b/z");
+}
+
+TEST(SweepTest, FlatIndexMatchesExpansionOrder) {
+  Sweep s("grid");
+  s.axis("a", {"0", "1"}).axis("b", {"0", "1", "2"}).axis("c", {"0", "1"});
+  const auto cells = s.expand();
+  for (const Cell& c : cells) {
+    EXPECT_EQ(s.flat_index({c.at(0), c.at(1), c.at(2)}), c.flat);
+  }
+  // Spot check: {1, 2, 0} = 1*6 + 2*2 + 0.
+  EXPECT_EQ(s.flat_index({1, 2, 0}), 10u);
+}
+
+TEST(SweepTest, AppliersEditBaseConfigInAxisOrder) {
+  metrics::RunConfig base;
+  base.cpus = 2;
+  base.seed = 11;
+  Sweep s("cfg");
+  s.base(base)
+      .axis("cpus", {"4c", "8c"},
+            [](metrics::RunConfig& rc, std::size_t i) {
+              rc.cpus = i == 0 ? 4 : 8;
+            })
+      .axis("smt", {"off", "on"}, [](metrics::RunConfig& rc, std::size_t i) {
+        rc.smt = i == 1;
+        // Later axes see earlier axes' edits.
+        if (rc.cpus == 8) rc.seed = 99;
+      });
+  const auto cells = s.expand();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].cfg.cpus, 4u);
+  EXPECT_FALSE(cells[0].cfg.smt);
+  EXPECT_EQ(cells[0].cfg.seed, 11u);
+  EXPECT_EQ(cells[1].cfg.cpus, 4u);
+  EXPECT_TRUE(cells[1].cfg.smt);
+  EXPECT_EQ(cells[2].cfg.cpus, 8u);
+  EXPECT_EQ(cells[2].cfg.seed, 99u);
+  EXPECT_TRUE(cells[3].cfg.smt);
+}
+
+TEST(SweepTest, NullApplierLeavesConfigUntouched) {
+  metrics::RunConfig base;
+  base.cpus = 16;
+  Sweep s("sel");
+  s.base(base).axis("benchmark", {"ocean", "lu", "radix"});
+  for (const Cell& c : s.expand()) {
+    EXPECT_EQ(c.cfg.cpus, 16u);
+  }
+}
+
+TEST(SweepTest, AccessorsReflectDeclaration) {
+  Sweep s("acc");
+  s.axis("first", {"f0"}).axis("second", {"s0", "s1"});
+  EXPECT_EQ(s.name(), "acc");
+  EXPECT_EQ(s.n_axes(), 2u);
+  EXPECT_EQ(s.axis_name(0), "first");
+  EXPECT_EQ(s.axis_name(1), "second");
+  EXPECT_EQ(s.labels(1), (std::vector<std::string>{"s0", "s1"}));
+}
+
+}  // namespace
+}  // namespace eo

@@ -155,7 +155,7 @@ TEST(KernelSmoke, SpinTimeoutFires) {
   SimTime end = 0;
   runtime::spawn(k, "spin-to", [&, flag](Env env) -> SimThread {
     result = co_await env.spin_until_timeout(
-        flag, [](std::uint64_t v) { return v == 1; }, 1, 2_ms);
+        flag, kern::SpinPredicate::eq(1), 1, 2_ms);
     end = env.now();
     co_return;
   });

@@ -3,6 +3,9 @@
 // stochastic workloads but not correctness.
 #include <gtest/gtest.h>
 
+#include "exp/result.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
 #include "metrics/experiment.h"
 #include "trace/export.h"
 #include "workloads/memcached.h"
@@ -106,6 +109,48 @@ TEST(Determinism, IdenticalSeedByteIdenticalTrace) {
   EXPECT_EQ(a.second, b.second);
 }
 #endif  // EO_TRACE_ENABLED
+
+// The sweep-runner property behind `--json`: a full bench document is a pure
+// function of (sweep, seed), so two same-seed runs render byte-identical JSON
+// (modulo the meta block, pinned here) regardless of the host-thread count.
+TEST(Determinism, SameSeedSweepRendersByteIdenticalJson) {
+  auto render = [](std::size_t jobs) {
+    const auto& spec = workloads::find_benchmark("ocean");
+    metrics::RunConfig base;
+    base.cpus = 4;
+    base.sockets = 2;
+    base.seed = 7;
+    base.ref_footprint = spec.ref_footprint();
+    base.deadline = 300_s;
+    exp::Sweep sweep("determinism");
+    sweep.base(base).axis("kernel", {"vanilla", "optimized"},
+                          [](metrics::RunConfig& rc, std::size_t i) {
+                            rc.features = i == 0 ? core::Features::vanilla()
+                                                 : core::Features::optimized();
+                          });
+    exp::RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    const exp::Outcomes out =
+        exp::ExperimentRunner(sweep, opts)
+            .run([&](const exp::Cell&, const metrics::RunConfig& cfg) {
+              return run_experiment(cfg, [&](kern::Kernel& k) {
+                workloads::spawn_benchmark(k, spec, 16, 42, 0.05);
+              });
+            });
+    exp::ResultDoc doc("prop_determinism", 0.05, 7);
+    doc.set_meta("git_rev", "pinned");  // exclude the volatile meta block
+    doc.add_sweep(sweep, out);
+    return doc.render();
+  };
+  const std::string a = render(1);
+  const std::string b = render(1);
+  const std::string c = render(2);
+  EXPECT_EQ(a, b);  // rerun with the same seed
+  EXPECT_EQ(a, c);  // --jobs must not change the cells
+  std::string err;
+  EXPECT_TRUE(exp::validate_result_json(a, &err)) << err;
+}
 
 TEST(Determinism, SeedChangesPerturbStochasticRuns) {
   const auto& spec = workloads::find_benchmark("facesim");  // jittered
