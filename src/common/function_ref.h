@@ -1,0 +1,61 @@
+// FunctionRef: a non-owning, two-word view of a callable.
+//
+// For call-and-return parameters (predicates, visitors) `std::function`
+// is the wrong tool: constructing one may allocate, and invoking one goes
+// through its type-erased manager. FunctionRef is a (context pointer,
+// thunk pointer) pair — no allocation ever, trivially copyable, and the
+// call is a single indirect jump. It does not own the callable, so it is
+// only safe as a function parameter invoked during the call (binding a
+// temporary lambda argument is fine; storing a FunctionRef member is not).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace eo {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable lvalue or temporary for the duration of the call.
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                !std::is_function_v<std::remove_reference_t<F>> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : thunk_([](Storage s, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(s.obj))(
+              std::forward<Args>(args)...);
+        }) {
+    storage_.obj = const_cast<void*>(
+        static_cast<const void*>(std::addressof(f)));
+  }
+
+  /// Plain function (or captureless-lambda-decayed) pointer.
+  FunctionRef(R (*fn)(Args...)) noexcept  // NOLINT(google-explicit-constructor)
+      : thunk_([](Storage s, Args... args) -> R {
+          return s.fn(std::forward<Args>(args)...);
+        }) {
+    storage_.fn = fn;
+  }
+
+  R operator()(Args... args) const {
+    return thunk_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  union Storage {
+    void* obj;
+    R (*fn)(Args...);
+  };
+
+  Storage storage_;
+  R (*thunk_)(Storage, Args...);
+};
+
+}  // namespace eo

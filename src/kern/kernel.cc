@@ -943,11 +943,31 @@ bool Kernel::handle_futex_wake(Core& c, Task* t, const FutexWakeAction& a) {
   return false;
 }
 
+Kernel::WakeChain* Kernel::alloc_chain() {
+  if (!chain_free_.empty()) {
+    WakeChain* chain = chain_free_.back();
+    chain_free_.pop_back();
+    return chain;
+  }
+  chain_storage_.emplace_back();
+  return &chain_storage_.back();
+}
+
+void Kernel::release_chain(WakeChain* chain) {
+  chain->waker = nullptr;
+  chain->waker_cpu = -1;
+  chain->waiters.clear();  // keeps capacity for the next wakeup burst
+  chain->idx = 0;
+  chain->result = 0;
+  chain->delivered = false;
+  chain_free_.push_back(chain);
+}
+
 void Kernel::start_wake_chain(Core& c, Task* waker,
                               std::vector<futex::Waiter> list,
                               SimDuration initial_cost) {
   waker->in_kernel = true;
-  auto chain = std::make_shared<WakeChain>();
+  WakeChain* chain = alloc_chain();
   chain->waker = waker;
   chain->waker_cpu = c.id;
   chain->waiters = std::move(list);
@@ -957,7 +977,7 @@ void Kernel::start_wake_chain(Core& c, Task* waker,
                          [this, chain] { wake_chain_step(chain); });
 }
 
-void Kernel::wake_chain_step(std::shared_ptr<WakeChain> chain) {
+void Kernel::wake_chain_step(WakeChain* chain) {
   if (chain->idx < chain->waiters.size()) {
     auto& w = chain->waiters[chain->idx++];
     if (!chain->delivered) finish_action(w.task, 0);
@@ -967,12 +987,16 @@ void Kernel::wake_chain_step(std::shared_ptr<WakeChain> chain) {
     engine_.schedule_after(cost, [this, chain] { wake_chain_step(chain); });
     return;
   }
-  // Chain complete: resume the waker.
+  // Chain complete: recycle it, then resume the waker (which may start a
+  // fresh chain immediately).
   Task* w = chain->waker;
+  const int waker_cpu = chain->waker_cpu;
+  const std::uint64_t result = chain->result;
+  release_chain(chain);
   w->in_kernel = false;
-  EO_TRACE_EVENT(&tracer_, chain->waker_cpu, trace::EventKind::kWakeupEnd,
-                 w->tid, chain->result, 0);
-  finish_action(w, chain->result);
+  EO_TRACE_EVENT(&tracer_, waker_cpu, trace::EventKind::kWakeupEnd,
+                 w->tid, result, 0);
+  finish_action(w, result);
   if (w->state != TaskState::kRunning) {
     // Waker was evicted (core offlining); it resumes when next scheduled.
     return;
@@ -1150,7 +1174,7 @@ void Kernel::start_wake_chain_delivered(Core& c, Task* waker,
                                         std::vector<futex::Waiter> list,
                                         SimDuration initial_cost) {
   waker->in_kernel = true;
-  auto chain = std::make_shared<WakeChain>();
+  WakeChain* chain = alloc_chain();
   chain->waker = waker;
   chain->waker_cpu = c.id;
   chain->waiters = std::move(list);

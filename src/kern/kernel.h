@@ -12,7 +12,6 @@
 
 #include <coroutine>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -194,6 +193,13 @@ class Kernel {
   };
 
   /// One asynchronous futex/epoll wake chain (serialized in the waker).
+  /// Chains are pooled by the kernel (alloc_chain/release_chain): a wakeup
+  /// borrows a chain and the engine events capture a raw pointer, so the
+  /// steady state performs no allocation and no atomic refcounting per wake
+  /// (and a recycled chain keeps its waiters vector's capacity). Exactly one
+  /// engine event per chain is in flight at a time, and chain events are
+  /// never canceled, so the kernel (which outlives its engine events) is the
+  /// only owner.
   struct WakeChain {
     Task* waker = nullptr;
     int waker_cpu = -1;
@@ -203,6 +209,9 @@ class Kernel {
     /// Results were already delivered to the waiters (epoll path).
     bool delivered = false;
   };
+
+  WakeChain* alloc_chain();
+  void release_chain(WakeChain* chain);
 
   // --- scheduling machinery ---
   Core& core(int id) { return *cores_[static_cast<size_t>(id)]; }
@@ -250,7 +259,7 @@ class Kernel {
   void start_wake_chain_delivered(Core& c, Task* waker,
                                   std::vector<futex::Waiter> list,
                                   SimDuration initial_cost);
-  void wake_chain_step(std::shared_ptr<WakeChain> chain);
+  void wake_chain_step(WakeChain* chain);
   /// Vanilla wakeup of a sleeping task: core selection, enqueue, preempt.
   /// Returns the waker-side cost.
   SimDuration wake_task_vanilla(Task* t);
@@ -277,6 +286,10 @@ class Kernel {
   sched::LoadBalancer balancer_;
   futex::FutexTable futex_;
   epollsim::EpollTable epolls_;
+
+  /// Wake-chain pool: stable storage plus a free list of recycled chains.
+  std::deque<WakeChain> chain_storage_;
+  std::vector<WakeChain*> chain_free_;
 
   std::vector<std::unique_ptr<Core>> cores_;
   int n_online_ = 0;

@@ -5,7 +5,7 @@
 namespace eo::sched {
 
 void RepeatingTimer::start(sim::Engine* engine, SimDuration period,
-                           SimDuration offset, std::function<void()> fn) {
+                           SimDuration offset, sim::EventFn fn) {
   EO_CHECK(engine != nullptr);
   EO_CHECK_GT(period, 0);
   stop();
@@ -13,20 +13,7 @@ void RepeatingTimer::start(sim::Engine* engine, SimDuration period,
   period_ = period;
   fn_ = std::move(fn);
   armed_ = true;
-  event_ = engine_->schedule_after(offset + period_, [this] {
-    event_ = sim::kInvalidEvent;
-    // Re-arm before the callback so the callback may stop() the timer.
-    arm_next();
-    trace_fire();
-    fn_();
-  });
-}
-
-void RepeatingTimer::arm_next() {
-  if (!armed_) return;
-  event_ = engine_->schedule_after(period_, [this] {
-    event_ = sim::kInvalidEvent;
-    arm_next();
+  event_ = engine_->schedule_periodic(offset + period_, period_, [this] {
     trace_fire();
     fn_();
   });

@@ -1,11 +1,14 @@
 // High-resolution repeating timer.
 //
-// Thin wrapper over the event engine that re-arms itself each period, used
-// for the per-core BWD monitoring timer (100 µs) and the periodic load
-// balancer. Mirrors the hrtimer interface the paper's implementation uses.
+// Thin wrapper over the event engine's periodic path, used for the per-core
+// BWD monitoring timer (100 µs) and the periodic load balancer. Mirrors the
+// hrtimer interface the paper's implementation uses. The engine re-arms the
+// event in place (`Engine::schedule_periodic`), so a steady-state timer
+// costs one heap push per fire and zero allocations — the previous
+// pop-push-allocate cycle per interval is gone, with identical event
+// ordering (the next occurrence is armed immediately before the callback,
+// exactly where the old self-re-arm scheduled it).
 #pragma once
-
-#include <functional>
 
 #include "common/units.h"
 #include "sim/engine.h"
@@ -39,7 +42,7 @@ class RepeatingTimer {
   /// Arms the timer: first fire at now + offset + period, then every period.
   /// The callback runs inside the engine event; re-arming is automatic.
   void start(sim::Engine* engine, SimDuration period, SimDuration offset,
-             std::function<void()> fn);
+             sim::EventFn fn);
 
   /// Disarms; safe to call when not armed or from within the callback.
   void stop();
@@ -47,13 +50,11 @@ class RepeatingTimer {
   bool armed() const { return armed_; }
 
  private:
-  void arm_next();
-
   void trace_fire();
 
   sim::Engine* engine_ = nullptr;
   SimDuration period_ = 0;
-  std::function<void()> fn_;
+  sim::EventFn fn_;
   sim::EventId event_ = sim::kInvalidEvent;
   bool armed_ = false;
   trace::Tracer* tracer_ = nullptr;

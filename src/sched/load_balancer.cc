@@ -4,7 +4,7 @@ namespace eo::sched {
 
 std::optional<BalanceDecision> LoadBalancer::find_pull(
     int dst_cpu, const std::vector<Runqueue*>& rqs,
-    const std::function<bool(int)>& online, bool newly_idle) const {
+    FunctionRef<bool(int)> online, bool newly_idle) const {
   const int threshold = newly_idle ? 1 : params_->balance_imbalance;
   // Prefer a same-socket pull; only cross sockets if the local socket is
   // balanced.
@@ -18,7 +18,7 @@ std::optional<BalanceDecision> LoadBalancer::find_pull(
 
 std::optional<BalanceDecision> LoadBalancer::find_pull_in(
     int dst_cpu, const std::vector<Runqueue*>& rqs,
-    const std::function<bool(int)>& online, bool same_socket_only,
+    FunctionRef<bool(int)> online, bool same_socket_only,
     int threshold) const {
   const int dst_socket = topo_->socket_of(dst_cpu);
   // Load metric: schedulable entities plus VB-parked ones. VB deliberately

@@ -13,10 +13,10 @@
 // remain counted, loads stay flat, and almost no balancing triggers.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "hw/topology.h"
 #include "sched/cfs.h"
 #include "sched/runqueue.h"
@@ -37,15 +37,18 @@ class LoadBalancer {
 
   /// Finds a task to pull to `dst_cpu`. `rqs[i]` is core i's runqueue;
   /// `online(i)` says whether core i participates. `newly_idle` lowers the
-  /// imbalance threshold to 1, as CFS does for idle balancing.
-  std::optional<BalanceDecision> find_pull(
-      int dst_cpu, const std::vector<Runqueue*>& rqs,
-      const std::function<bool(int)>& online, bool newly_idle) const;
+  /// imbalance threshold to 1, as CFS does for idle balancing. The online
+  /// predicate is a non-owning FunctionRef: this runs on every periodic and
+  /// newly-idle balance, and must not touch std::function machinery.
+  std::optional<BalanceDecision> find_pull(int dst_cpu,
+                                           const std::vector<Runqueue*>& rqs,
+                                           FunctionRef<bool(int)> online,
+                                           bool newly_idle) const;
 
  private:
   std::optional<BalanceDecision> find_pull_in(
       int dst_cpu, const std::vector<Runqueue*>& rqs,
-      const std::function<bool(int)>& online, bool same_socket_only,
+      FunctionRef<bool(int)> online, bool same_socket_only,
       int threshold) const;
 
   const hw::Topology* topo_;

@@ -1,79 +1,135 @@
 #include "sim/engine.h"
 
+#include <limits>
+
 #include "common/logging.h"
 
 namespace eo::sim {
 
-EventId Engine::schedule_at(SimTime when, std::function<void()> fn) {
-  EO_CHECK_GE(when, now_) << "event scheduled in the past";
-  const EventId id = next_id_++;
-  heap_.push(Event{when, id, std::move(fn)});
-  pending_.insert(id);
-  ++live_events_;
-  return id;
+std::uint32_t Engine::alloc_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t idx = free_head_;
+    Slot& s = slot(idx);
+    free_head_ = s.next_free;
+    s.next_free = kNoFreeSlot;
+    return idx;
+  }
+  if ((n_slots_ & (kChunkSize - 1)) == 0) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return n_slots_++;
 }
 
-EventId Engine::schedule_after(SimDuration delay, std::function<void()> fn) {
+void Engine::retire_slot(Slot& s, std::uint32_t idx) {
+  // Invalidate every id and heap entry minted for this arming. Skipping 0 on
+  // wrap keeps make_id() != kInvalidEvent; a stale entry colliding after a
+  // full 2^32 reuse cycle of one slot is beyond any simulated horizon.
+  if (++s.gen == 0) s.gen = 1;
+  s.period = 0;
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+std::uint32_t Engine::arm(SimTime when, SimDuration period, EventFn fn) {
+  const std::uint32_t idx = alloc_slot();
+  Slot& s = slot(idx);
+  s.fn = std::move(fn);
+  s.period = period;
+  heap_.push(HeapEntry{when, next_seq_++, idx, s.gen});
+  ++live_events_;
+  return idx;
+}
+
+EventId Engine::schedule_at(SimTime when, EventFn fn) {
+  EO_CHECK_GE(when, now_) << "event scheduled in the past";
+  EO_CHECK(fn) << "empty event callback";
+  const std::uint32_t idx = arm(when, 0, std::move(fn));
+  return make_id(idx, slot(idx).gen);
+}
+
+EventId Engine::schedule_after(SimDuration delay, EventFn fn) {
   EO_CHECK_GE(delay, 0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Engine::cancel(EventId id) {
-  if (id == kInvalidEvent) return;
-  // Only a still-pending event can be canceled; canceling a fired event is a
-  // harmless no-op.
-  if (pending_.erase(id) > 0) --live_events_;
+EventId Engine::schedule_periodic(SimDuration first_delay, SimDuration period,
+                                  EventFn fn) {
+  EO_CHECK_GE(first_delay, 0);
+  EO_CHECK_GT(period, 0);
+  EO_CHECK(fn) << "empty event callback";
+  const std::uint32_t idx = arm(now_ + first_delay, period, std::move(fn));
+  return make_id(idx, slot(idx).gen);
 }
 
-bool Engine::pop_next(Event& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top is const; the function object must be moved out, so
-    // we const_cast on the way to pop. This is the standard idiom; the heap
-    // invariant is unaffected because the element is removed immediately.
-    Event& top = const_cast<Event&>(heap_.top());
-    if (pending_.find(top.id) == pending_.end()) {
-      heap_.pop();  // canceled; skip
+void Engine::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  const auto idx = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= n_slots_) return;
+  Slot& s = slot(idx);
+  if (s.gen != gen) return;  // already fired, canceled, or slot reused
+  s.fn.reset();              // release captures immediately
+  retire_slot(s, idx);
+  --live_events_;
+}
+
+bool Engine::fire_next(SimTime deadline) {
+  for (;;) {
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.top();
+    Slot* s = &slot(top.slot);
+    if (s->gen != top.gen) {
+      heap_.pop();  // stale: canceled (or the slot was since recycled)
       continue;
     }
-    out = std::move(top);
+    if (top.when > deadline) return false;
     heap_.pop();
+    now_ = top.when;
+    ++fired_;
+    if (s->period > 0) {
+      // Re-arm in place: same slot, same generation, next occurrence takes
+      // its sequence number now — the exact point a self-re-arming callback
+      // would schedule it, preserving equal-timestamp insertion order.
+      heap_.push(
+          HeapEntry{top.when + s->period, next_seq_++, top.slot, top.gen});
+      // Borrow the callback for the call: it may cancel its own id (which
+      // resets the slot) or schedule events that grow the slab.
+      EventFn fn = std::move(s->fn);
+      fn();
+      Slot& again = slot(top.slot);
+      if (again.gen == top.gen) {
+        again.fn = std::move(fn);
+      }
+      // else: the callback canceled the timer; the borrowed fn dies here and
+      // the re-armed heap entry is skipped as stale when it surfaces.
+    } else {
+      EventFn fn = std::move(s->fn);
+      retire_slot(*s, top.slot);
+      --live_events_;
+      fn();
+    }
     return true;
   }
-  return false;
 }
 
 std::uint64_t Engine::run_until(SimTime deadline) {
   std::uint64_t n = 0;
-  Event ev;
-  for (;;) {
-    // Skip canceled entries so the deadline peek sees a live event.
-    while (!heap_.empty() &&
-           pending_.find(heap_.top().id) == pending_.end()) {
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().when > deadline) break;
-    if (!pop_next(ev)) break;
-    pending_.erase(ev.id);
-    --live_events_;
-    now_ = ev.when;
-    ++fired_;
-    ++n;
-    ev.fn();
-  }
+  while (fire_next(deadline)) ++n;
   if (now_ < deadline) now_ = deadline;
   return n;
 }
 
 std::uint64_t Engine::run() {
   std::uint64_t n = 0;
-  Event ev;
-  while (pop_next(ev)) {
-    pending_.erase(ev.id);
-    --live_events_;
-    now_ = ev.when;
-    ++fired_;
+  const SimTime forever = std::numeric_limits<SimTime>::max();
+  while (fire_next(forever)) ++n;
+  return n;
+}
+
+std::size_t Engine::free_slots() const {
+  std::size_t n = 0;
+  for (std::uint32_t i = free_head_; i != kNoFreeSlot; i = slot(i).next_free) {
     ++n;
-    ev.fn();
   }
   return n;
 }

@@ -6,22 +6,41 @@
 // one engine per simulated machine, and benches parallelize across engines,
 // never within one.
 //
+// Hot-path layout (see src/sim/README.md for the full story):
+//
+//  * Callbacks are `EventFn` — inline small-buffer callables, so scheduling
+//    a kernel lambda (`[this, &c]`-shaped captures) performs no heap
+//    allocation and heap sifts move 24-byte PODs, never type-erased objects.
+//  * Event state lives in a slab of slots recycled through a free list;
+//    `EventId` encodes (slot index, generation), so `cancel` and the
+//    fired-check are two array accesses — no hashing, no lazy tombstone set.
+//    Stale heap entries (canceled or re-armed slots) are recognized by a
+//    generation mismatch and skipped when popped.
+//  * Periodic events (`schedule_periodic`) re-arm in place: one slot and one
+//    callback for the lifetime of the timer, one heap push per fire.
+//
 // Determinism: events at equal timestamps fire in insertion order (a
 // monotonically increasing sequence number breaks ties), so a run is a pure
-// function of the configuration and RNG seeds.
+// function of the configuration and RNG seeds. A periodic event's next
+// occurrence takes its sequence number at fire time, immediately before the
+// callback runs — exactly where a self-re-arming callback would schedule it,
+// so the periodic path is order-identical to the pop-push pattern it
+// replaces.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_fn.h"
 
 namespace eo::sim {
 
-/// Identifies a scheduled event so it can be canceled.
+/// Identifies a scheduled event so it can be canceled: bits [0,32) are the
+/// slab slot index, bits [32,64) the slot's generation at arming time.
+/// Generations start at 1, so no valid id equals kInvalidEvent.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -37,13 +56,21 @@ class Engine {
 
   /// Schedules `fn` to run at absolute time `when` (>= now). Returns an id
   /// usable with `cancel`.
-  EventId schedule_at(SimTime when, std::function<void()> fn);
+  EventId schedule_at(SimTime when, EventFn fn);
 
   /// Schedules `fn` to run `delay` nanoseconds from now.
-  EventId schedule_after(SimDuration delay, std::function<void()> fn);
+  EventId schedule_after(SimDuration delay, EventFn fn);
 
-  /// Cancels a pending event. Canceling an already-fired or invalid id is a
-  /// no-op (lazy deletion: the heap entry is skipped when popped).
+  /// Schedules `fn` to run every `period` nanoseconds, first at
+  /// now + first_delay, re-arming in place until canceled. The next
+  /// occurrence is armed immediately before each fire, so the callback may
+  /// cancel its own id to stop the timer. Counts as one pending event.
+  EventId schedule_periodic(SimDuration first_delay, SimDuration period,
+                            EventFn fn);
+
+  /// Cancels a pending event (one-shot or periodic). O(1): bumps the slot's
+  /// generation so the heap entry is skipped when popped, and recycles the
+  /// slot. Canceling an already-fired or invalid id is a no-op.
   void cancel(EventId id);
 
   /// Runs events until the queue is empty or `deadline` is passed. The clock
@@ -51,38 +78,81 @@ class Engine {
   /// reached). Returns the number of events fired.
   std::uint64_t run_until(SimTime deadline);
 
-  /// Runs until the event queue drains completely.
+  /// Runs until the event queue drains completely. Never returns while a
+  /// periodic event is armed.
   std::uint64_t run();
 
   /// True if any event (not canceled) is pending.
   bool has_pending() const { return live_events_ > 0; }
 
-  /// Number of events fired since construction.
+  /// Number of events fired since construction (each periodic fire counts).
   std::uint64_t events_fired() const { return fired_; }
 
+  // --- slab introspection (tests and diagnostics) ---
+  /// Slots ever allocated; bounded by the peak number of concurrently
+  /// pending events, not by throughput.
+  std::size_t slab_slots() const { return n_slots_; }
+  /// Slots currently on the free list.
+  std::size_t free_slots() const;
+
  private:
-  struct Event {
+  // Chunked so slot references stay stable while the slab grows (a periodic
+  // callback runs with its slot borrowed; growth must not move slots).
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  struct Slot {
+    EventFn fn;
+    SimDuration period = 0;  ///< > 0 while armed periodic
+    /// Bumped on every disarm (fire or cancel); a heap entry is live iff its
+    /// recorded generation equals the slot's. Starts at 1 and skips 0 on
+    /// wrap so ids never collide with kInvalidEvent.
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoFreeSlot;  ///< valid while on the free list
+  };
+
+  /// Heap entries are flat PODs; the callback stays in the slab and is never
+  /// touched by sifts.
+  struct HeapEntry {
     SimTime when;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;  ///< insertion order, breaks equal-timestamp ties
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // earlier insertion fires first
+      return a.seq > b.seq;  // earlier insertion fires first
     }
   };
 
-  bool pop_next(Event& out);
+  Slot& slot(std::uint32_t i) {
+    return chunks_[i >> kChunkShift][i & (kChunkSize - 1)];
+  }
+  const Slot& slot(std::uint32_t i) const {
+    return chunks_[i >> kChunkShift][i & (kChunkSize - 1)];
+  }
+  static EventId make_id(std::uint32_t idx, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | idx;
+  }
+
+  std::uint32_t alloc_slot();
+  void retire_slot(Slot& s, std::uint32_t idx);
+  std::uint32_t arm(SimTime when, SimDuration period, EventFn fn);
+  /// Fires the heap head if it is live and due by `deadline`. Returns false
+  /// when the head is past the deadline or the heap is empty (stale entries
+  /// are drained so the caller's emptiness/peek checks see a live event).
+  bool fire_next(SimTime deadline);
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t live_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  // Ids scheduled but not yet fired or canceled. Cancellation is lazy: the
-  // heap entry stays and is skipped when popped.
-  std::unordered_set<EventId> pending_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t n_slots_ = 0;
+  std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 }  // namespace eo::sim

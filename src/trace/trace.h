@@ -49,7 +49,8 @@ enum class EventKind : std::uint16_t {
   kEnqueue,        ///< entity added (arg0=nr_running after, arg1=vruntime)
   kDequeue,        ///< entity removed (arg0=nr_running after, arg1=vruntime)
   kPickNext,       ///< entity chosen to run (arg0=nr_running, arg1=vruntime)
-  // Timers (sched/hrtimer.cc).
+  // Timers (sched/hrtimer.cc). Timers re-arm in place via the engine's
+  // periodic-event path, so one record per fire is the only per-tick cost.
   kTimerFire,      ///< repeating timer fired (arg0=timer id)
   // Futex (kern/kernel.cc + futex/futex.cc).
   kFutexWait,      ///< task blocked on a word (arg0=word id, arg1=vb)

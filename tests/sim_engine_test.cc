@@ -131,5 +131,80 @@ TEST(Engine, RunUntilSkipsCanceledHead) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Engine, CancelOfFiredIdIsNoOpForRecycledSlot) {
+  Engine e;
+  int a_hits = 0, b_hits = 0;
+  const EventId a = e.schedule_at(10, [&] { ++a_hits; });
+  e.run();
+  // The slot is recycled for b; a's stale id carries the old generation.
+  const EventId b = e.schedule_at(20, [&] { ++b_hits; });
+  EXPECT_NE(a, b);
+  e.cancel(a);  // must not hit b
+  EXPECT_TRUE(e.has_pending());
+  e.run();
+  EXPECT_EQ(a_hits, 1);
+  EXPECT_EQ(b_hits, 1);
+}
+
+TEST(Engine, PeriodicFiresEveryPeriod) {
+  Engine e;
+  std::vector<SimTime> fires;
+  e.schedule_periodic(10, 25, [&] { fires.push_back(e.now()); });
+  e.run_until(100);
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 35, 60, 85}));
+  EXPECT_TRUE(e.has_pending());  // still armed
+  EXPECT_EQ(e.events_fired(), 4u);
+}
+
+TEST(Engine, PeriodicCancelStopsFiring) {
+  Engine e;
+  int fires = 0;
+  const EventId id = e.schedule_periodic(10, 10, [&] { ++fires; });
+  e.run_until(35);
+  EXPECT_EQ(fires, 3);
+  e.cancel(id);
+  EXPECT_FALSE(e.has_pending());
+  e.run_until(100);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Engine, PeriodicCanCancelItselfFromCallback) {
+  Engine e;
+  int fires = 0;
+  EventId id = kInvalidEvent;
+  id = e.schedule_periodic(5, 5, [&] {
+    if (++fires == 3) e.cancel(id);
+  });
+  e.run_until(1000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(e.has_pending());
+  EXPECT_EQ(e.now(), 1000);
+}
+
+TEST(Engine, PeriodicCountsAsOnePendingEvent) {
+  Engine e;
+  e.schedule_periodic(10, 10, [] {});
+  EXPECT_TRUE(e.has_pending());
+  e.run_until(55);
+  EXPECT_TRUE(e.has_pending());
+  EXPECT_EQ(e.events_fired(), 5u);
+  EXPECT_EQ(e.slab_slots(), 1u);
+}
+
+TEST(Engine, SlotsRecycleThroughFreeList) {
+  Engine e;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    e.schedule_after(1, [&] { ++fired; });
+    const EventId doomed = e.schedule_after(2, [&] { ++fired; });
+    e.cancel(doomed);
+    e.run_until(e.now() + 2);
+  }
+  EXPECT_EQ(fired, 100);
+  // Two slots in flight at peak; the slab never grows past that.
+  EXPECT_LE(e.slab_slots(), 2u);
+  EXPECT_EQ(e.free_slots(), e.slab_slots());
+}
+
 }  // namespace
 }  // namespace eo::sim
