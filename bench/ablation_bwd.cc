@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   {
     metrics::RunConfig base;
     base.deadline = 600_s;
+    bench::apply_metrics(cli, &base);
     sweep_h.base(base)
         .axis("combo", combo_labels,
               [](metrics::RunConfig& rc, std::size_t ci) {
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
     base.cpus = 8;
     base.sockets = 2;
     base.deadline = 600_s;
+    bench::apply_metrics(cli, &base);
     sweep_b.base(base).axis("reference", {"ft-8T-nobwd"});
   }
   exp::Sweep sweep_i("interval");
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
     base.cpus = 8;
     base.sockets = 2;
     base.deadline = 2000_s;
+    bench::apply_metrics(cli, &base);
     sweep_i.base(base)
         .axis("interval", interval_labels,
               [](metrics::RunConfig& rc, std::size_t ii) {
@@ -203,5 +206,11 @@ int main(int argc, char** argv) {
   doc.add_sweep(sweep_h, out_h);
   doc.add_sweep(sweep_b, out_b);
   doc.add_sweep(sweep_i, out_i);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out_h, cli) &&
+      bench::check_sweep_metrics(out_b, cli) &&
+      bench::check_sweep_metrics(out_i, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   base.cpus = 8;
   base.sockets = 1;
   base.deadline = 600_s;
+  bench::apply_metrics(cli, &base);
 
   std::vector<std::string> prim_labels;
   for (const auto p : kPrims) prim_labels.emplace_back(workloads::to_string(p));
@@ -120,5 +121,10 @@ int main(int argc, char** argv) {
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep_a, out_a);
   doc.add_sweep(sweep_q, out_q);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out_a, cli) &&
+      bench::check_sweep_metrics(out_q, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -5,7 +5,8 @@
 //
 //   <bench> [scale] [--json=<path>] [--jobs=N] [--filter=<substr>] [--list]
 //           [--seed=N] [--trace=<path>] [--trace-format=json|csv]
-//           [--trace-only] [--help]
+//           [--trace-only] [--metrics[=<path>]] [--metrics-interval=<us>]
+//           [--metrics-format=json|csv|report] [--help]
 //
 // The positional scale multiplies the simulated round counts, so
 // `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
@@ -25,6 +26,8 @@
 #include "exp/sweep.h"
 #include "metrics/experiment.h"
 #include "metrics/table_printer.h"
+#include "obs/export.h"
+#include "obs/sampler.h"
 #include "trace/export.h"
 #include "trace/timeline.h"
 #include "trace/trace.h"
@@ -116,6 +119,88 @@ inline bool export_and_check_trace(
     }
   }
   return ok;
+}
+
+/// Sampler configuration per the --metrics* flags (disabled when --metrics
+/// was not given).
+inline obs::SamplerConfig metrics_config(const Cli& cli) {
+  obs::SamplerConfig mc;
+  mc.enabled = cli.metrics;
+  mc.interval = static_cast<SimDuration>(cli.metrics_interval_us) * 1_us;
+  return mc;
+}
+
+/// Applies the --metrics* flags to a RunConfig (for benches building sweeps).
+inline void apply_metrics(const Cli& cli, metrics::RunConfig* cfg) {
+  cfg->metrics = metrics_config(cli);
+}
+
+/// Checks the run's telemetry and, when --metrics=<path> was given, exports
+/// the eo-metrics document in the requested format. Any recorded watchdog
+/// violation fails the bench. Returns true when --metrics is off or
+/// everything checks out.
+inline bool export_and_check_metrics(const metrics::RunResult& r,
+                                     const Cli& cli) {
+  if (!cli.metrics) return true;
+  if (!r.metrics) {
+    std::fprintf(stderr, "metrics: run captured no telemetry (sampler not "
+                         "enabled on the run)\n");
+    return false;
+  }
+  const obs::MetricsDoc& m = *r.metrics;
+  if (m.watchdog_violations != 0) {
+    std::fprintf(stderr,
+                 "metrics: watchdog recorded %llu invariant violation(s) "
+                 "over %llu checks\n",
+                 static_cast<unsigned long long>(m.watchdog_violations),
+                 static_cast<unsigned long long>(m.watchdog_checks));
+    for (const auto& v : m.violation_records) {
+      std::fprintf(stderr, "metrics:   t=%lld %s: %s\n",
+                   static_cast<long long>(v.ts), v.invariant.c_str(),
+                   v.detail.c_str());
+    }
+    return false;
+  }
+  std::printf("metrics: %llu samples (%llu dropped), %llu watchdog checks, "
+              "0 violations\n",
+              static_cast<unsigned long long>(m.ticks),
+              static_cast<unsigned long long>(m.dropped_ticks),
+              static_cast<unsigned long long>(m.watchdog_checks));
+  if (cli.metrics_path.empty()) return true;
+  std::string err;
+  if (!obs::export_to_file(m, cli.metrics_path, cli.metrics_format, &err)) {
+    std::fprintf(stderr, "metrics: export failed: %s\n", err.c_str());
+    return false;
+  }
+  std::printf("metrics: wrote %s [%s]\n", cli.metrics_path.c_str(),
+              cli.metrics_format.c_str());
+  return true;
+}
+
+/// Sweep-level telemetry check: every ran cell must report zero watchdog
+/// violations, and one representative cell's document is exported per the
+/// --metrics* flags. Returns true when --metrics is off or all cells pass.
+inline bool check_sweep_metrics(const exp::Outcomes& out, const Cli& cli) {
+  if (!cli.metrics) return true;
+  const metrics::RunResult* rep = nullptr;
+  bool ok = true;
+  for (const auto& o : out) {
+    if (!o.ran() || !o.run.metrics) continue;
+    if (!rep) rep = &o.run;
+    const obs::MetricsDoc& m = *o.run.metrics;
+    if (m.watchdog_violations != 0) {
+      std::fprintf(stderr,
+                   "metrics: cell '%s': %llu watchdog violation(s)\n",
+                   o.cell.id().c_str(),
+                   static_cast<unsigned long long>(m.watchdog_violations));
+      ok = false;
+    }
+  }
+  if (!rep) {
+    std::fprintf(stderr, "metrics: no cell captured telemetry\n");
+    return false;
+  }
+  return export_and_check_metrics(*rep, cli) && ok;
 }
 
 inline void print_header(const char* id, const char* what) {

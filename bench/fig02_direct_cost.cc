@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   base.cpus = 1;
   base.sockets = 1;
   base.deadline = 600_s;
+  bench::apply_metrics(cli, &base);
 
   std::vector<std::string> thread_labels;
   for (int t = 1; t <= 8; ++t) thread_labels.push_back(std::to_string(t) + "T");
@@ -115,5 +116,9 @@ int main(int argc, char** argv) {
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep, out);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   base.cpus = 1;
   base.sockets = 1;
   base.deadline = 3000_s;
+  bench::apply_metrics(cli, &base);
 
   exp::Sweep sweep("indirect_cost");
   sweep.base(base)
@@ -114,5 +115,9 @@ int main(int argc, char** argv) {
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep, out);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

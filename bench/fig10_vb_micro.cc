@@ -19,7 +19,8 @@ const std::vector<workloads::SyncPrimitive> kPrims = {
 const std::vector<std::string> kPrimLabels = {"pthread_mutex", "pthread_cond",
                                               "pthread_barrier"};
 
-exp::Sweep make_sweep(const std::string& name, const std::string& vary_axis,
+exp::Sweep make_sweep(const bench::Cli& cli, const std::string& name,
+                      const std::string& vary_axis,
                       const std::vector<int>& counts, bool vary_cores) {
   std::vector<std::string> count_labels;
   for (const int c : counts) count_labels.push_back(std::to_string(c));
@@ -28,6 +29,7 @@ exp::Sweep make_sweep(const std::string& name, const std::string& vary_axis,
   base.cpus = 1;
   base.sockets = 1;
   base.deadline = 600_s;
+  bench::apply_metrics(cli, &base);
   sweep.base(base)
       .axis("primitive", kPrimLabels)
       .axis(vary_axis, count_labels,
@@ -83,9 +85,9 @@ int main(int argc, char** argv) {
 
   const std::vector<int> threads = {1, 2, 4, 8, 16, 32};
   const std::vector<int> cores = {1, 2, 4, 8, 16, 32};
-  exp::Sweep sweep_a = make_sweep("threads_on_one_core", "threads", threads,
+  exp::Sweep sweep_a = make_sweep(cli, "threads_on_one_core", "threads", threads,
                                   /*vary_cores=*/false);
-  exp::Sweep sweep_b = make_sweep("cores_at_32T", "cores", cores,
+  exp::Sweep sweep_b = make_sweep(cli, "cores_at_32T", "cores", cores,
                                   /*vary_cores=*/true);
 
   exp::ExperimentRunner runner_a(sweep_a, cli.runner_options());
@@ -120,5 +122,10 @@ int main(int argc, char** argv) {
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep_a, out_a);
   doc.add_sweep(sweep_b, out_b);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out_a, cli) &&
+      bench::check_sweep_metrics(out_b, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

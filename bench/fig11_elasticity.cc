@@ -6,6 +6,7 @@
 // 32 cores; pinning cannot adapt (paper: programs crashed when the core
 // count decreased — reported here as "crash"), and leaves added cores unused.
 #include <iostream>
+#include <memory>
 
 #include "bench_util.h"
 #include "runtime/sim_thread.h"
@@ -54,6 +55,9 @@ exp::CellRun run_one(const workloads::BenchmarkSpec& spec, int threads,
   res.run.exec_time = done ? k.last_exit_time() : k.now();
   res.run.stats = k.stats();
   res.run.pinned_violation = k.pinned_violation();
+  if (k.sampler().enabled()) {
+    res.run.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
+  }
   // Pinning to a core that is taken away kills the run in practice.
   res.set("crashed", pinned && k.pinned_violation() ? 1.0 : 0.0);
   if (pinned && k.pinned_violation()) {
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
   base.cpus = 32;  // machine capacity; the container is resized at runtime
   base.sockets = 2;
   base.deadline = 600_s;
+  bench::apply_metrics(cli, &base);
 
   exp::Sweep sweep("elasticity");
   sweep.base(base)
@@ -139,5 +144,9 @@ int main(int argc, char** argv) {
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep, out);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

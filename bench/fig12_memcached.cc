@@ -57,10 +57,14 @@ exp::CellRun run_one(int workers, double rate, const metrics::RunConfig& cfg,
   r.run.completed = true;  // open-loop: the window always closes
   r.run.exec_time = window + 100_ms;
   r.run.stats = k.stats();
+  if (k.sampler().enabled()) {
+    r.run.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
+  }
   r.set("tput_ops_s", server.latencies().throughput(window + 100_ms))
       .set("avg_us", server.latencies().mean_us())
       .set("p95_us", server.latencies().p95_us())
-      .set("p99_us", server.latencies().p99_us());
+      .set("p99_us", server.latencies().p99_us())
+      .set("p999_us", server.latencies().p999_us());
   return r;
 }
 
@@ -83,8 +87,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> cfg_labels;
   for (const auto& c : kCfgs) cfg_labels.emplace_back(c.label);
 
+  metrics::RunConfig base;
+  bench::apply_metrics(cli, &base);
+
   exp::Sweep sweep("memcached");
-  sweep.axis("cores", core_labels,
+  sweep.base(base)
+      .axis("cores", core_labels,
              [&](metrics::RunConfig& rc, std::size_t ki) {
                rc.cpus = cores[ki];
                rc.sockets = cores[ki] > 8 ? 2 : 1;
@@ -112,7 +120,8 @@ int main(int argc, char** argv) {
       {"throughput(ops/s)", "tput_ops_s"},
       {"avg latency(us)", "avg_us"},
       {"p95 latency(us)", "p95_us"},
-      {"p99 latency(us)", "p99_us"}};
+      {"p99 latency(us)", "p99_us"},
+      {"p99.9 latency(us)", "p999_us"}};
   for (const auto& [title, key] : metrics_keys) {
     std::printf("\n--- %s ---\n", title);
     metrics::TablePrinter t({"cores", kCfgs[0].label, kCfgs[1].label,
@@ -131,5 +140,7 @@ int main(int argc, char** argv) {
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep, out);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  const bool ok =
+      bench::write_results(cli, doc) && bench::check_sweep_metrics(out, cli);
+  return ok ? 0 : 1;
 }

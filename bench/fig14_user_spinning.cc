@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   base.cpus = 8;
   base.sockets = 2;
   base.deadline = 2000_s;
+  bench::apply_metrics(cli, &base);
 
   exp::Sweep sweep("user_spinning");
   sweep.base(base)
@@ -97,5 +98,9 @@ int main(int argc, char** argv) {
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep, out);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

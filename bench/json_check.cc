@@ -1,13 +1,72 @@
-// json_check <file>... — validates bench result documents against the
-// eo-bench-result schema (src/exp/result.h). Exits nonzero unless every file
-// parses and passes structural validation. Used by the bench_json_smoke
-// ctest, and handy for checking archived BENCH_*.json documents by hand.
+// json_check <file>... — validates machine-readable bench documents. The
+// schema is dispatched on the document's own "schema" field:
+//
+//   "eo-bench-result"  result grids (src/exp/result.h)
+//   "eo-metrics"       live-telemetry exports (src/obs/export.h)
+//
+// Beyond structure, any recorded watchdog violation fails the check — in
+// eo-metrics documents (watchdog.violations) and in result-grid cells that
+// embed an "obs" summary (obs.watchdog_violations). Exits nonzero unless
+// every file passes. Used by the bench_json_smoke / obs_smoke ctests, and
+// handy for checking archived BENCH_*.json documents by hand.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "common/json.h"
 #include "exp/result.h"
+#include "obs/export.h"
+
+namespace {
+
+/// Fails result grids whose cells embed an obs summary with violations.
+bool check_cell_watchdogs(const eo::json::Value& root, std::string* err) {
+  const eo::json::Value* sweeps = root.get("sweeps");
+  if (!sweeps) return true;
+  for (const auto& s : sweeps->items) {
+    const eo::json::Value* cells = s.get("cells");
+    if (!cells) continue;
+    for (const auto& cell : cells->items) {
+      const eo::json::Value* obs = cell.get("obs");
+      if (!obs) continue;
+      const eo::json::Value* v = obs->get("watchdog_violations");
+      if (v && v->num != 0) {
+        *err = "cell reports " +
+               std::to_string(static_cast<long long>(v->num)) +
+               " watchdog violation(s)";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool check_file(const std::string& text, std::string* err) {
+  eo::json::Value root;
+  if (!eo::json::parse(text, &root, err)) return false;
+  const eo::json::Value* schema =
+      root.is_object() ? root.get("schema") : nullptr;
+  if (!schema || !schema->is_string()) {
+    *err = "document has no string 'schema' field";
+    return false;
+  }
+  if (schema->str == eo::obs::kMetricsSchemaName) {
+    if (!eo::obs::validate_metrics_json(text, err)) return false;
+    const eo::json::Value* wd = root.get("watchdog");
+    const eo::json::Value* v = wd ? wd->get("violations") : nullptr;
+    if (v && v->num != 0) {
+      *err = "watchdog recorded " +
+             std::to_string(static_cast<long long>(v->num)) + " violation(s)";
+      return false;
+    }
+    return true;
+  }
+  if (!eo::exp::validate_result_json(text, err)) return false;
+  return check_cell_watchdogs(root, err);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -25,7 +84,7 @@ int main(int argc, char** argv) {
     std::ostringstream ss;
     ss << f.rdbuf();
     std::string err;
-    if (!eo::exp::validate_result_json(ss.str(), &err)) {
+    if (!check_file(ss.str(), &err)) {
       std::fprintf(stderr, "json_check: %s: INVALID: %s\n", argv[i],
                    err.c_str());
       ++failures;

@@ -102,6 +102,29 @@ MicroResult kernel_context_switches() {
   return {200, k.stats().context_switches};
 }
 
+MicroResult obs_sample_tick() {
+  // Per-tick cost of the obs sampler: a 4-core kernel with a handful of
+  // compute/yield threads sampled every 10 simulated microseconds. Items =
+  // sampler ticks, so ns/item is the host cost of one full sample frame
+  // (collect + ring push + watchdog cross-check).
+  kern::KernelConfig c;
+  c.topo = hw::Topology::make_cores(4, 1);
+  c.metrics.enabled = true;
+  c.metrics.interval = 10_us;
+  kern::Kernel k(c);
+  for (int i = 0; i < 8; ++i) {
+    runtime::spawn(k, "t", [](runtime::Env env) -> runtime::SimThread {
+      for (int r = 0; r < 50; ++r) {
+        co_await env.compute(20_us);
+        co_await env.yield();
+      }
+      co_return;
+    });
+  }
+  k.run_to_exit(10_s);
+  return {k.sampler().ticks(), k.stats().context_switches};
+}
+
 MicroResult futex_round_trip() {
   kern::KernelConfig c;
   c.topo = hw::Topology::make_cores(2, 1);
@@ -139,6 +162,7 @@ const std::vector<Micro> kMicros = {
     {"rbtree_insert_erase", rbtree_insert_erase},
     {"kernel_context_switches", kernel_context_switches},
     {"futex_round_trip", futex_round_trip},
+    {"obs_sample_tick", obs_sample_tick},
 };
 
 // engine_schedule_fire ns/item on the reference host immediately before the

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   base.sockets = 1;
   base.features = core::Features::optimized();
   base.deadline = hold + 5_s;
+  bench::apply_metrics(cli, &base);
 
   exp::Sweep sweep("bwd_sensitivity");
   sweep.base(base).axis("spinlock", kind_labels);
@@ -70,5 +71,9 @@ int main(int argc, char** argv) {
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep, out);
-  return bench::write_results(cli, doc) ? 0 : 1;
+  bool ok = bench::write_results(cli, doc);
+  if (cli.metrics) {
+    ok = bench::check_sweep_metrics(out, cli) && ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -33,6 +33,7 @@ class Histogram {
   std::int64_t p50() const { return quantile(0.50); }
   std::int64_t p95() const { return quantile(0.95); }
   std::int64_t p99() const { return quantile(0.99); }
+  std::int64_t p999() const { return quantile(0.999); }
 
  private:
   static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "kern/klock.h"
+#include "obs/metrics.h"
 #include "trace/trace.h"
 
 namespace eo::kern {
@@ -45,6 +46,13 @@ class EpollTable {
   /// Wires the event tracer (may be null).
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
+  /// Wires the metric counters: instance-lock acquisitions and the
+  /// contended subset.
+  void set_metrics(obs::Counter locks, obs::Counter contended) {
+    m_locks_ = locks;
+    m_contended_ = contended;
+  }
+
   /// Creates a new instance; returns its fd.
   int create();
 
@@ -58,6 +66,8 @@ class EpollTable {
   SimDuration lock_instance(EpollInstance& ep, SimTime now, SimDuration hold,
                             int core, std::int32_t tid) {
     const SimDuration wait = ep.lock.acquire(now, hold);
+    m_locks_.inc();
+    if (wait > 0) m_contended_.inc();
     EO_TRACE_EVENT(tracer_, core, trace::EventKind::kEpollLock, tid,
                    static_cast<std::uint64_t>(wait),
                    static_cast<std::uint64_t>(hold));
@@ -72,6 +82,8 @@ class EpollTable {
  private:
   std::vector<EpollInstance> instances_;
   trace::Tracer* tracer_ = nullptr;
+  obs::Counter m_locks_;
+  obs::Counter m_contended_;
 };
 
 }  // namespace eo::epollsim

@@ -56,7 +56,16 @@ std::string Cli::usage(const CliSpec& spec) {
        << "  --trace-only         skip the figure grid, run only the traced "
           "config\n";
   }
-  os << "  --help               show this help\n";
+  os << "  --metrics[=<path>]   sample live telemetry per run; with a path, "
+        "also\n"
+        "                       export one representative eo-metrics "
+        "document\n"
+     << "  --metrics-interval=<us>\n"
+        "                       sampling period in simulated microseconds "
+        "(default 1000)\n"
+     << "  --metrics-format=F   metrics export format: json|csv|report "
+        "(default json)\n"
+     << "  --help               show this help\n";
   return os.str();
 }
 
@@ -117,6 +126,30 @@ bool Cli::parse_into(int argc, char** argv, const CliSpec& spec, Cli* out,
       }
     } else if (spec.supports_trace && arg == "--trace-only") {
       out->trace_only = true;
+    } else if (arg == "--metrics") {
+      out->metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      out->metrics = true;
+      out->metrics_path = arg.substr(10);
+      if (out->metrics_path.empty()) {
+        *err = "empty --metrics= path";
+        return false;
+      }
+    } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+      if (!parse_uint_str(arg.substr(19), &out->metrics_interval_us) ||
+          out->metrics_interval_us == 0) {
+        *err = "invalid --metrics-interval value '" + arg.substr(19) +
+               "' (want a positive integer, microseconds)";
+        return false;
+      }
+    } else if (arg.rfind("--metrics-format=", 0) == 0) {
+      out->metrics_format = arg.substr(17);
+      if (out->metrics_format != "json" && out->metrics_format != "csv" &&
+          out->metrics_format != "report") {
+        *err = "--metrics-format must be 'json', 'csv', or 'report' (got '" +
+               out->metrics_format + "')";
+        return false;
+      }
     } else {
       *err = "unknown flag '" + arg + "'";
       return false;

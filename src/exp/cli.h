@@ -2,7 +2,8 @@
 //
 //   <bench> [scale] [--json=<path>] [--jobs=N] [--filter=<substr>] [--list]
 //           [--seed=N] [--trace=<path>] [--trace-format=json|csv]
-//           [--trace-only] [--help]
+//           [--trace-only] [--metrics[=<path>]] [--metrics-interval=<us>]
+//           [--metrics-format=json|csv|report] [--help]
 //
 // The positional `scale` multiplies the simulated work (rounds, requests);
 // it must be a plain positive number — `0.5x` or `abc` are errors, not
@@ -44,6 +45,12 @@ class Cli {
   std::string trace_path;  ///< empty = tracing off
   std::string trace_format = "json";
   bool trace_only = false;
+  /// Live telemetry (src/obs): --metrics enables per-cell sampling;
+  /// --metrics=<path> additionally exports one representative full document.
+  bool metrics = false;
+  std::string metrics_path;  ///< empty = no standalone export
+  std::uint64_t metrics_interval_us = 1000;
+  std::string metrics_format = "json";
 
   bool tracing() const { return !trace_path.empty(); }
 

@@ -52,6 +52,16 @@ void write_cell(json::Writer& w, const CellOutcome& o) {
   w.field("fn", o.run.bwd.fn);
   w.field("tn", o.run.bwd.tn);
   w.end_object();
+  if (o.run.metrics) {
+    const obs::MetricsDoc& m = *o.run.metrics;
+    w.key("obs");
+    w.begin_object();
+    w.field("samples", static_cast<std::uint64_t>(m.ticks));
+    w.field("dropped_samples", static_cast<std::uint64_t>(m.dropped_ticks));
+    w.field("watchdog_checks", m.watchdog_checks);
+    w.field("watchdog_violations", m.watchdog_violations);
+    w.end_object();
+  }
   if (!o.extra.empty()) {
     w.key("extra");
     w.begin_object();
@@ -217,6 +227,14 @@ bool validate_cell(const json::Value& cell, std::size_t n_axes,
   }
   for (const char* key : {"windows", "tp", "fp", "fn", "tn"}) {
     if (!check_number_field(*bwd, key, err)) return false;
+  }
+  const json::Value* obs = cell.get("obs");
+  if (obs) {
+    if (!obs->is_object()) return fail(err, "'obs' is not an object");
+    for (const char* key : {"samples", "dropped_samples", "watchdog_checks",
+                            "watchdog_violations"}) {
+      if (!check_number_field(*obs, key, err)) return false;
+    }
   }
   const json::Value* extra = cell.get("extra");
   if (extra) {

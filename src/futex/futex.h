@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "kern/klock.h"
+#include "obs/metrics.h"
 #include "trace/trace.h"
 
 namespace eo::kern {
@@ -42,6 +43,13 @@ class FutexTable {
   /// Wires the event tracer (may be null).
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
+  /// Wires the metric counters: bucket-lock acquisitions and the contended
+  /// subset (nonzero queueing delay — the paper's wakeup-path serialization).
+  void set_metrics(obs::Counter locks, obs::Counter contended) {
+    m_locks_ = locks;
+    m_contended_ = contended;
+  }
+
   /// The bucket a word hashes to (stable for the word's lifetime).
   Bucket& bucket_for(const kern::SimWord* word);
 
@@ -53,6 +61,8 @@ class FutexTable {
   SimDuration lock_bucket(Bucket& b, SimTime now, SimDuration hold, int core,
                           std::int32_t tid) {
     const SimDuration wait = b.lock.acquire(now, hold);
+    m_locks_.inc();
+    if (wait > 0) m_contended_.inc();
     EO_TRACE_EVENT(tracer_, core, trace::EventKind::kFutexBucketLock, tid,
                    static_cast<std::uint64_t>(wait),
                    static_cast<std::uint64_t>(hold));
@@ -71,6 +81,8 @@ class FutexTable {
  private:
   std::vector<Bucket> buckets_;
   trace::Tracer* tracer_ = nullptr;
+  obs::Counter m_locks_;
+  obs::Counter m_contended_;
 };
 
 }  // namespace eo::futex

@@ -42,6 +42,8 @@ Kernel::Kernel(KernelConfig cfg)
       vb_policy_(&cfg_.features),
       bwd_(&cfg_.features),
       balancer_(&cfg_.topo, &cfg_.cfs),
+      watchdog_(&metric_registry_),
+      sampler_(&engine_, cfg_.topo.n_cores()),
       rng_(cfg_.seed) {
   const int n = cfg_.topo.n_cores();
   cores_.reserve(static_cast<size_t>(n));
@@ -67,6 +69,13 @@ Kernel::Kernel(KernelConfig cfg)
                         [this, &c] { bwd_timer_fire(c); });
     }
   }
+  register_metrics();
+  sampler_.start(
+      cfg_.metrics,
+      [this](obs::CoreSample* cs, obs::GlobalSample* g) {
+        collect_sample(cs, g);
+      },
+      &watchdog_);
 }
 
 Kernel::~Kernel() = default;
@@ -272,6 +281,110 @@ trace::Trace Kernel::snapshot_trace() const {
     tr.task_names.emplace_back(tp->tid, tp->name);
   }
   return tr;
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry (src/obs)
+// ---------------------------------------------------------------------------
+
+void Kernel::register_metrics() {
+  obs::MetricRegistry& r = metric_registry_;
+  // Counters register in subsystem order; registration order is the export
+  // order, so keep it stable.
+  stats_.register_metrics(&r);
+  // All runqueues share kernel-wide cells (one kernel, one host thread).
+  const obs::Counter rq_enq = r.counter("sched.rq.enqueues");
+  const obs::Counter rq_deq = r.counter("sched.rq.dequeues");
+  const obs::Counter rq_picks = r.counter("sched.rq.picks");
+  for (auto& c : cores_) {
+    c->rq.set_metrics(rq_enq, rq_deq, rq_picks);
+  }
+  balancer_.set_metrics(r.counter("sched.balance.attempts"),
+                        r.counter("sched.balance.pulls"));
+  futex_.set_metrics(r.counter("futex.bucket_locks"),
+                     r.counter("futex.bucket_locks_contended"));
+  epolls_.set_metrics(r.counter("epoll.instance_locks"),
+                      r.counter("epoll.instance_locks_contended"));
+  vb_policy_.set_metrics(r.counter("vb.decisions"),
+                         r.counter("vb.chose_vb"));
+  bwd_.set_metrics(r.counter("bwd.windows_evaluated"),
+                   r.counter("bwd.windows_detected"));
+  r.register_counter("bwd.truth_windows", &bwd_accuracy_.windows);
+  r.register_counter("bwd.truth_tp", &bwd_accuracy_.tp);
+  r.register_counter("bwd.truth_fp", &bwd_accuracy_.fp);
+  r.register_counter("bwd.truth_fn", &bwd_accuracy_.fn);
+  r.register_counter("bwd.truth_tn", &bwd_accuracy_.tn);
+  cfg_.cfs.register_metrics(&r);
+  r.register_gauge("kern.live_tasks",
+                   [this] { return static_cast<std::int64_t>(live_tasks_); });
+  r.register_gauge("kern.online_cores",
+                   [this] { return static_cast<std::int64_t>(n_online_); });
+  r.register_histogram("kern.wakeup_latency_ns", &wakeup_latency_);
+}
+
+void Kernel::collect_sample(obs::CoreSample* cores,
+                            obs::GlobalSample* g) const {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const Core& c = *cores_[i];
+    obs::CoreSample& s = cores[i];
+    s.rq_depth = c.rq.nr_running();
+    s.schedulable = c.rq.nr_schedulable();
+    s.vb_parked = c.rq.nr_vb_blocked();
+    s.bwd_skipped = c.rq.count_bwd_skipped();
+    s.running = c.current != nullptr ? 1 : 0;
+    s.online = c.online ? 1 : 0;
+  }
+  g->live_tasks = live_tasks_;
+  g->online_cores = n_online_;
+  g->tasks_runnable = 0;
+  g->tasks_sleeping = 0;
+  for (const auto& tp : tasks_) {
+    switch (tp->state) {
+      case TaskState::kRunnable:
+      case TaskState::kRunning:
+        ++g->tasks_runnable;
+        break;
+      case TaskState::kSleeping:
+        ++g->tasks_sleeping;
+        break;
+      case TaskState::kNew:
+      case TaskState::kExited:
+        break;
+    }
+  }
+  g->context_switches = stats_.context_switches;
+  g->wakeups = stats_.wakeups;
+  g->migrations = stats_.total_migrations();
+  g->vb_parks = stats_.vb_parks;
+  g->vb_unparks = stats_.vb_unparks;
+}
+
+obs::MetricsDoc Kernel::snapshot_metrics() const {
+  obs::MetricsDoc doc;
+  doc.n_cores = n_cores();
+  doc.interval = sampler_.interval();
+  doc.ticks = sampler_.ticks();
+  doc.dropped_ticks = sampler_.series().dropped();
+  doc.counters = metric_registry_.snapshot_counters();
+  doc.gauges = metric_registry_.snapshot_gauges();
+  for (const auto& h : metric_registry_.histograms()) {
+    obs::HistogramSummary s;
+    s.name = h.name;
+    s.count = h.hist->total_count();
+    s.min = h.hist->min();
+    s.max = h.hist->max();
+    s.mean = h.hist->mean();
+    s.p50 = h.hist->p50();
+    s.p95 = h.hist->p95();
+    s.p99 = h.hist->p99();
+    s.p999 = h.hist->p999();
+    doc.histograms.push_back(std::move(s));
+  }
+  sampler_.series().copy_ordered(&doc.tick_series, &doc.core_series);
+  doc.watchdog_checks = watchdog_.checks();
+  doc.watchdog_violations = watchdog_.violations();
+  doc.violation_records = watchdog_.records();
+  return doc;
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,10 @@
 #include "hw/topology.h"
 #include "kern/klock.h"
 #include "kern/task.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/watchdog.h"
 #include "sched/cfs.h"
 #include "sched/hrtimer.h"
 #include "sched/load_balancer.h"
@@ -57,6 +61,8 @@ struct KernelConfig {
   std::uint64_t ref_footprint = 0;
   /// Event tracing (sim-ftrace); disabled by default.
   trace::TraceConfig trace;
+  /// Live telemetry sampling (sim-top); disabled by default.
+  obs::SamplerConfig metrics;
 };
 
 /// Per-core utilization/diagnostic counters.
@@ -124,6 +130,16 @@ class Kernel {
   const trace::Tracer& tracer() const { return tracer_; }
   /// Merged, time-ordered trace with task-name metadata attached.
   trace::Trace snapshot_trace() const;
+
+  // --- live telemetry (src/obs) ---
+  const obs::MetricRegistry& metric_registry() const {
+    return metric_registry_;
+  }
+  const obs::Sampler& sampler() const { return sampler_; }
+  const obs::InvariantWatchdog& watchdog() const { return watchdog_; }
+  /// Registry values, retained time series, and the watchdog verdict, ready
+  /// for the obs exporters.
+  obs::MetricsDoc snapshot_metrics() const;
 
   // --- metrics ---
   const sched::SchedStats& stats() const { return stats_; }
@@ -269,6 +285,11 @@ class Kernel {
   void notify_spinners(SimWord* word);
   void spinner_exit(Core& c, Task* t);
 
+  // --- live telemetry ---
+  void register_metrics();
+  /// Sampler callback: fills one CoreSample per core plus the ground truth.
+  void collect_sample(obs::CoreSample* cores, obs::GlobalSample* g) const;
+
   // --- timers ---
   void bwd_timer_fire(Core& c);
   void balance_timer_fire(Core& c);
@@ -301,6 +322,9 @@ class Kernel {
 
   sched::SchedStats stats_;
   core::BwdAccuracy bwd_accuracy_;
+  obs::MetricRegistry metric_registry_;
+  obs::InvariantWatchdog watchdog_;
+  obs::Sampler sampler_;
   Histogram wakeup_latency_;
   SimTime metrics_reset_time_ = 0;
   SimTime last_exit_time_ = 0;

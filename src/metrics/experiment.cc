@@ -14,6 +14,7 @@ kern::KernelConfig make_kernel_config(const RunConfig& cfg) {
   kc.seed = cfg.seed;
   kc.ref_footprint = cfg.ref_footprint;
   kc.trace = cfg.trace;
+  kc.metrics = cfg.metrics;
   return kc;
 }
 
@@ -32,6 +33,9 @@ RunResult run_experiment(const RunConfig& cfg,
   r.wakeup_latency = k.wakeup_latency();
   if (k.tracer().enabled()) {
     r.trace = std::make_shared<trace::Trace>(k.snapshot_trace());
+  }
+  if (k.sampler().enabled()) {
+    r.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
   }
   return r;
 }

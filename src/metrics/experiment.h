@@ -12,6 +12,8 @@
 #include "core/bwd.h"
 #include "core/config.h"
 #include "kern/kernel.h"
+#include "obs/export.h"
+#include "obs/sampler.h"
 #include "sched/sched_stats.h"
 #include "trace/trace.h"
 
@@ -33,6 +35,8 @@ struct RunConfig {
   std::uint64_t ref_footprint = 0;
   /// Event tracing; when enabled the result carries the merged trace.
   trace::TraceConfig trace;
+  /// Live telemetry; when enabled the result carries the eo-metrics doc.
+  obs::SamplerConfig metrics;
 };
 
 struct RunResult {
@@ -47,6 +51,8 @@ struct RunResult {
   Histogram wakeup_latency;
   /// Merged event trace; null unless cfg.trace.enabled.
   std::shared_ptr<trace::Trace> trace;
+  /// Telemetry snapshot; null unless cfg.metrics.enabled.
+  std::shared_ptr<obs::MetricsDoc> metrics;
 };
 
 /// Builds a kernel per `cfg`, lets `setup` spawn the workload, runs to

@@ -17,6 +17,7 @@ class LatencyRecorder {
   double p50_us() const { return to_us(hist_.p50()); }
   double p95_us() const { return to_us(hist_.p95()); }
   double p99_us() const { return to_us(hist_.p99()); }
+  double p999_us() const { return to_us(hist_.p999()); }
   double max_us() const { return to_us(hist_.max()); }
 
   /// Completed operations per second of simulated time.

@@ -1,0 +1,77 @@
+#include "obs/metrics.h"
+
+#include "common/logging.h"
+
+namespace eo::obs {
+
+namespace {
+/// Sink for unwired handles. Thread-local so kernels running concurrently on
+/// different host threads never share (and race on) one cell.
+thread_local std::uint64_t g_counter_sink = 0;
+}  // namespace
+
+Counter::Counter() : cell_(&g_counter_sink) {}
+
+void MetricRegistry::check_new_name(const std::string& name) const {
+  EO_CHECK(!name.empty()) << "empty metric name";
+  EO_CHECK(!has(name)) << "duplicate metric name '" << name << "'";
+}
+
+bool MetricRegistry::has(const std::string& name) const {
+  for (const auto& c : counters_) {
+    if (c.name == name) return true;
+  }
+  for (const auto& g : gauges_) {
+    if (g.name == name) return true;
+  }
+  for (const auto& h : histograms_) {
+    if (h.name == name) return true;
+  }
+  return false;
+}
+
+Counter MetricRegistry::counter(const std::string& name) {
+  check_new_name(name);
+  owned_.push_back(0);
+  counters_.push_back({name, &owned_.back()});
+  return Counter(&owned_.back());
+}
+
+void MetricRegistry::register_counter(const std::string& name,
+                                      const std::uint64_t* cell) {
+  check_new_name(name);
+  EO_CHECK(cell != nullptr);
+  counters_.push_back({name, cell});
+}
+
+void MetricRegistry::register_gauge(const std::string& name,
+                                    std::function<std::int64_t()> read) {
+  check_new_name(name);
+  EO_CHECK(read != nullptr);
+  gauges_.push_back({name, std::move(read)});
+}
+
+void MetricRegistry::register_histogram(const std::string& name,
+                                        const Histogram* hist) {
+  check_new_name(name);
+  EO_CHECK(hist != nullptr);
+  histograms_.push_back({name, hist});
+}
+
+std::vector<MetricRegistry::CounterValue> MetricRegistry::snapshot_counters()
+    const {
+  std::vector<CounterValue> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) out.push_back({c.name, *c.cell});
+  return out;
+}
+
+std::vector<MetricRegistry::GaugeValue> MetricRegistry::snapshot_gauges()
+    const {
+  std::vector<GaugeValue> out;
+  out.reserve(gauges_.size());
+  for (const auto& g : gauges_) out.push_back({g.name, g.read()});
+  return out;
+}
+
+}  // namespace eo::obs

@@ -1,0 +1,101 @@
+#include "obs/sampler.h"
+
+#include "common/logging.h"
+#include "obs/watchdog.h"
+
+namespace eo::obs {
+
+SeriesStore::SeriesStore(int n_cores, std::size_t capacity)
+    : n_cores_(n_cores), capacity_(capacity) {
+  EO_CHECK(n_cores > 0);
+  EO_CHECK(capacity > 0);
+  ticks_.resize(capacity);
+  cores_.resize(capacity * static_cast<std::size_t>(n_cores));
+}
+
+void SeriesStore::push(const TickSample& tick, const CoreSample* cores) {
+  ticks_[head_] = tick;
+  CoreSample* dst = &cores_[head_ * static_cast<std::size_t>(n_cores_)];
+  for (int i = 0; i < n_cores_; ++i) dst[i] = cores[i];
+  head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  if (count_ < capacity_) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+void SeriesStore::copy_ordered(std::vector<TickSample>* tick_out,
+                               std::vector<CoreSample>* core_out) const {
+  const std::size_t start = count_ == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t slot = (start + i) % capacity_;
+    if (tick_out) tick_out->push_back(ticks_[slot]);
+    if (core_out) {
+      const CoreSample* src =
+          &cores_[slot * static_cast<std::size_t>(n_cores_)];
+      core_out->insert(core_out->end(), src, src + n_cores_);
+    }
+  }
+}
+
+void SeriesStore::clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+Sampler::Sampler(sim::Engine* engine, int n_cores)
+    : engine_(engine),
+      n_cores_(n_cores),
+      series_(n_cores, SamplerConfig{}.ring_capacity),
+      scratch_(static_cast<std::size_t>(n_cores)) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start(const SamplerConfig& cfg, Collect collect,
+                    InvariantWatchdog* watchdog) {
+  EO_CHECK(!enabled()) << "sampler already started";
+  if (!cfg.enabled) return;
+  EO_CHECK(cfg.interval > 0) << "non-positive sampling interval";
+  cfg_ = cfg;
+  collect_ = std::move(collect);
+  EO_CHECK(collect_ != nullptr);
+  watchdog_ = watchdog;
+  if (cfg_.ring_capacity != series_.capacity()) {
+    series_ = SeriesStore(n_cores_, cfg_.ring_capacity);
+  }
+  event_ = engine_->schedule_periodic(cfg_.interval, cfg_.interval,
+                                      [this] { sample_now(); });
+}
+
+void Sampler::stop() {
+  if (event_ != sim::kInvalidEvent) {
+    engine_->cancel(event_);
+    event_ = sim::kInvalidEvent;
+  }
+}
+
+void Sampler::sample_now() {
+  GlobalSample g;
+  collect_(scratch_.data(), &g);
+
+  TickSample t;
+  t.ts = engine_->now();
+  t.live_tasks = g.live_tasks;
+  t.online_cores = g.online_cores;
+  if (have_prev_) {
+    t.d_context_switches = g.context_switches - prev_.context_switches;
+    t.d_wakeups = g.wakeups - prev_.wakeups;
+    t.d_migrations = g.migrations - prev_.migrations;
+  }
+  series_.push(t, scratch_.data());
+  if (watchdog_ != nullptr) {
+    watchdog_->check(t.ts, scratch_.data(), n_cores_, g);
+  }
+  prev_ = g;
+  have_prev_ = true;
+  ++ticks_;
+}
+
+}  // namespace eo::obs

@@ -1,0 +1,134 @@
+#include "obs/watchdog.h"
+
+#include <sstream>
+
+namespace eo::obs {
+
+void InvariantWatchdog::record(SimTime ts, const char* invariant,
+                               std::string detail) {
+  ++violations_;
+  if (records_.size() < kMaxRecorded) {
+    records_.push_back({ts, invariant, std::move(detail)});
+  }
+}
+
+int InvariantWatchdog::check(SimTime ts, const CoreSample* cores, int n_cores,
+                             const GlobalSample& g) {
+  ++checks_;
+  const std::uint64_t before = violations_;
+
+  std::int64_t sum_rq = 0;
+  std::int64_t sum_parked = 0;
+  for (int i = 0; i < n_cores; ++i) {
+    const CoreSample& c = cores[i];
+    sum_rq += c.rq_depth;
+    sum_parked += c.vb_parked;
+    std::ostringstream id;
+    id << "core " << i;
+    if (c.rq_depth < 0 || c.vb_parked < 0 || c.bwd_skipped < 0) {
+      record(ts, "core_nonnegative",
+             id.str() + ": negative rq_depth/vb_parked/bwd_skipped");
+    }
+    if (c.vb_parked > c.rq_depth) {
+      record(ts, "vb_parked_bound",
+             id.str() + ": vb_parked " + std::to_string(c.vb_parked) +
+                 " > rq_depth " + std::to_string(c.rq_depth));
+    }
+    if (c.schedulable != c.rq_depth - c.vb_parked) {
+      record(ts, "schedulable_split",
+             id.str() + ": schedulable " + std::to_string(c.schedulable) +
+                 " != rq_depth " + std::to_string(c.rq_depth) +
+                 " - vb_parked " + std::to_string(c.vb_parked));
+    }
+    // Skip flags live on queued entities only (never on the running one).
+    const std::int32_t queued = c.rq_depth - (c.running ? 1 : 0);
+    if (c.bwd_skipped > queued) {
+      record(ts, "bwd_skipped_bound",
+             id.str() + ": bwd_skipped " + std::to_string(c.bwd_skipped) +
+                 " > queued " + std::to_string(queued));
+    }
+    if (!c.online && c.rq_depth != 0) {
+      record(ts, "offline_core_empty",
+             id.str() + ": offline with rq_depth " +
+                 std::to_string(c.rq_depth));
+    }
+  }
+
+  // VB keeps parked tasks on their runqueues, so every runnable-or-running
+  // task is on exactly one queue (or one core) and vice versa.
+  if (sum_rq != g.tasks_runnable) {
+    record(ts, "rq_depth_sum",
+           "sum(rq_depth) " + std::to_string(sum_rq) +
+               " != runnable-or-running tasks " +
+               std::to_string(g.tasks_runnable));
+  }
+  if (g.live_tasks != g.tasks_runnable + g.tasks_sleeping) {
+    record(ts, "live_task_split",
+           "live " + std::to_string(g.live_tasks) + " != runnable " +
+               std::to_string(g.tasks_runnable) + " + sleeping " +
+               std::to_string(g.tasks_sleeping));
+  }
+  if (g.vb_parks < g.vb_unparks) {
+    record(ts, "vb_park_pairing",
+           "vb_unparks " + std::to_string(g.vb_unparks) + " > vb_parks " +
+               std::to_string(g.vb_parks));
+  } else if (sum_parked !=
+             static_cast<std::int64_t>(g.vb_parks - g.vb_unparks)) {
+    record(ts, "vb_parked_sum",
+           "sum(vb_parked) " + std::to_string(sum_parked) +
+               " != vb_parks - vb_unparks " +
+               std::to_string(g.vb_parks - g.vb_unparks));
+  }
+
+  if (have_prev_) {
+    const struct {
+      const char* name;
+      std::uint64_t prev, cur;
+    } monotonic[] = {
+        {"context_switches", prev_.context_switches, g.context_switches},
+        {"wakeups", prev_.wakeups, g.wakeups},
+        {"migrations", prev_.migrations, g.migrations},
+        {"vb_parks", prev_.vb_parks, g.vb_parks},
+        {"vb_unparks", prev_.vb_unparks, g.vb_unparks},
+    };
+    for (const auto& m : monotonic) {
+      if (m.cur < m.prev) {
+        record(ts, "counter_monotonic",
+               std::string(m.name) + " regressed " + std::to_string(m.prev) +
+                   " -> " + std::to_string(m.cur));
+      }
+    }
+  }
+  if (registry_ != nullptr) {
+    const auto counters = registry_->snapshot_counters();
+    if (prev_counters_.size() == counters.size()) {
+      for (std::size_t i = 0; i < counters.size(); ++i) {
+        if (counters[i].value < prev_counters_[i]) {
+          record(ts, "counter_monotonic",
+                 counters[i].name + " regressed " +
+                     std::to_string(prev_counters_[i]) + " -> " +
+                     std::to_string(counters[i].value));
+        }
+      }
+    } else if (!prev_counters_.empty()) {
+      record(ts, "counter_set_stable",
+             "registered counter count changed mid-run");
+    }
+    prev_counters_.clear();
+    for (const auto& c : counters) prev_counters_.push_back(c.value);
+  }
+
+  prev_ = g;
+  have_prev_ = true;
+  return static_cast<int>(violations_ - before);
+}
+
+void InvariantWatchdog::clear() {
+  checks_ = 0;
+  violations_ = 0;
+  records_.clear();
+  have_prev_ = false;
+  prev_counters_.clear();
+}
+
+}  // namespace eo::obs

@@ -18,6 +18,7 @@
 
 #include "common/function_ref.h"
 #include "hw/topology.h"
+#include "obs/metrics.h"
 #include "sched/cfs.h"
 #include "sched/runqueue.h"
 
@@ -34,6 +35,12 @@ class LoadBalancer {
  public:
   LoadBalancer(const hw::Topology* topo, const CfsParams* params)
       : topo_(topo), params_(params) {}
+
+  /// Wires the metric counters: balance attempts and decided pulls.
+  void set_metrics(obs::Counter attempts, obs::Counter pulls) {
+    m_attempts_ = attempts;
+    m_pulls_ = pulls;
+  }
 
   /// Finds a task to pull to `dst_cpu`. `rqs[i]` is core i's runqueue;
   /// `online(i)` says whether core i participates. `newly_idle` lowers the
@@ -53,6 +60,8 @@ class LoadBalancer {
 
   const hw::Topology* topo_;
   const CfsParams* params_;
+  obs::Counter m_attempts_;
+  obs::Counter m_pulls_;
 };
 
 }  // namespace eo::sched

@@ -25,6 +25,7 @@ void Runqueue::enqueue(SchedEntity* se, bool wakeup) {
   }
   tree_.insert(se);
   ++nr_running_;
+  m_enqueues_.inc();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kEnqueue, se->tid,
                  static_cast<std::uint64_t>(nr_running_),
                  static_cast<std::uint64_t>(se->vruntime));
@@ -38,6 +39,7 @@ void Runqueue::dequeue(SchedEntity* se) {
   se->cpu = -1;
   --nr_running_;
   if (se->vb_blocked) --nr_vb_blocked_;
+  m_dequeues_.inc();
   update_min_vruntime();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kDequeue, se->tid,
                  static_cast<std::uint64_t>(nr_running_),
@@ -85,6 +87,7 @@ SchedEntity* Runqueue::pick_next() {
   if (chosen == nullptr) return nullptr;
   tree_.erase(chosen);
   curr_ = chosen;
+  m_picks_.inc();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kPickNext, chosen->tid,
                  static_cast<std::uint64_t>(nr_running_),
                  static_cast<std::uint64_t>(chosen->vruntime));
@@ -183,6 +186,14 @@ void Runqueue::bwd_mark_skip(SchedEntity* se) {
   EO_CHECK(se != curr_);
   se->bwd_skip = true;
   se->bwd_skip_seq = pick_seq_;
+}
+
+int Runqueue::count_bwd_skipped() const {
+  int n = 0;
+  for (SchedEntity* e = tree_.leftmost(); e != nullptr; e = tree_.next(e)) {
+    if (e->bwd_skip) ++n;
+  }
+  return n;
 }
 
 SchedEntity* Runqueue::migration_candidate() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sched/cfs.h"
 #include "sched/entity.h"
 #include "sched/rbtree.h"
@@ -31,6 +32,15 @@ class Runqueue {
 
   /// Wires the event tracer (may be null; the kernel sets it at boot).
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
+  /// Wires the metric counters (shared across all of a kernel's runqueues —
+  /// one kernel is single-threaded, so plain adds are safe).
+  void set_metrics(obs::Counter enqueues, obs::Counter dequeues,
+                   obs::Counter picks) {
+    m_enqueues_ = enqueues;
+    m_dequeues_ = dequeues;
+    m_picks_ = picks;
+  }
 
   /// Runnable entities including the one currently running and any
   /// VB-blocked parked entities (VB keeps them on the queue — that is the
@@ -89,6 +99,11 @@ class Runqueue {
   /// Marks `se` (on this queue, not curr) as skipped.
   void bwd_mark_skip(SchedEntity* se);
 
+  /// Queued entities currently carrying a BWD skip flag. A tree walk — for
+  /// the sampler only, never the scheduling fast path (skip flags are
+  /// cleared inside pick_next, so cheap bookkeeping would be fragile).
+  int count_bwd_skipped() const;
+
   /// Picks a migration victim: a queued, non-VB-blocked, non-skipped entity
   /// preferring the tree tail (least likely to run soon). Returns nullptr if
   /// none. Does not remove it.
@@ -103,6 +118,9 @@ class Runqueue {
   int cpu_;
   const CfsParams* params_;
   trace::Tracer* tracer_ = nullptr;
+  obs::Counter m_enqueues_;
+  obs::Counter m_dequeues_;
+  obs::Counter m_picks_;
   RbTree<SchedEntity, &SchedEntity::rb, ByVruntime> tree_;
   SchedEntity* curr_ = nullptr;
   std::int64_t min_vruntime_ = 0;

@@ -2,21 +2,38 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace eo::sched {
+
+namespace {
+#define EO_SCHED_STATS_COUNT(name) +1
+constexpr std::size_t kNumFields = 0 EO_SCHED_STATS_FIELDS(EO_SCHED_STATS_COUNT);
+#undef EO_SCHED_STATS_COUNT
+}  // namespace
+
+// A field added to the struct but not the X-macro changes sizeof and fails
+// here; one added to the macro flows into summary() and the bridge for free.
+static_assert(sizeof(SchedStats) == kNumFields * sizeof(std::uint64_t),
+              "SchedStats field missing from EO_SCHED_STATS_FIELDS");
 
 std::string SchedStats::summary() const {
   std::ostringstream os;
-  os << "switches=" << context_switches << " (vol=" << voluntary_switches
-     << " invol=" << involuntary_switches << ") wakeups=" << wakeups
-     << " migr(in=" << migrations_in_node << " cross=" << migrations_cross_node
-     << " wake=" << wakeup_migrations << ")"
-     << " vb(park=" << vb_parks << " unpark=" << vb_unparks
-     << " check=" << vb_check_quanta << ")"
-     << " futex(sleep=" << futex_sleeps << " wake=" << futex_wakes << ")"
-     << " bwd(fires=" << bwd_timer_fires << " detect=" << bwd_detections
-     << " desched=" << bwd_descheduled << ")"
-     << " ple_exits=" << ple_exits;
+  bool first = true;
+#define EO_SCHED_STATS_PRINT(field)          \
+  if (!first) os << ' ';                     \
+  os << #field "=" << field;                 \
+  first = false;
+  EO_SCHED_STATS_FIELDS(EO_SCHED_STATS_PRINT)
+#undef EO_SCHED_STATS_PRINT
   return os.str();
+}
+
+void SchedStats::register_metrics(obs::MetricRegistry* reg) const {
+#define EO_SCHED_STATS_REGISTER(field) \
+  reg->register_counter("sched." #field, &field);
+  EO_SCHED_STATS_FIELDS(EO_SCHED_STATS_REGISTER)
+#undef EO_SCHED_STATS_REGISTER
 }
 
 }  // namespace eo::sched

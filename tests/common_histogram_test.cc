@@ -17,6 +17,37 @@ TEST(Histogram, EmptyBasics) {
   EXPECT_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, EmptyQuantilesAndExtremaAreZero) {
+  // Every summary accessor must be safe on a histogram with no samples.
+  Histogram h;
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.p95(), 0);
+  EXPECT_EQ(h.p99(), 0);
+  EXPECT_EQ(h.p999(), 0);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 0);
+}
+
+TEST(Histogram, P999TracksTail) {
+  // 999 fast samples and two 100x outliers: p99 stays near the bulk while
+  // p999 must reach the outliers' bucket (with quantile rank q*(n-1), a
+  // 1-in-1000 tail needs n > 1000 samples to surface at q=0.999).
+  Histogram h;
+  for (int i = 0; i < 999; ++i) h.add(1000);
+  h.add(100000, 2);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 1000.0, 1000.0 * 0.04);
+  EXPECT_GE(h.p999(), 100000);
+  EXPECT_NEAR(static_cast<double>(h.p999()), 100000.0, 100000.0 * 0.04);
+}
+
+TEST(Histogram, P999OnSingleValue) {
+  Histogram h;
+  h.add(777);
+  EXPECT_EQ(h.p999(), h.p50());
+}
+
 TEST(Histogram, SingleValue) {
   Histogram h;
   h.add(1234);

@@ -137,6 +137,54 @@ TEST(CliTest, RejectsBadTraceFormat) {
   EXPECT_FALSE(try_parse({"--trace="}, trace_spec(), &cli, &err));
 }
 
+TEST(CliTest, MetricsFlagsParseUniformly) {
+  Cli cli;
+  std::string err;
+  // Defaults: sampling off, 1 ms interval, JSON format.
+  ASSERT_TRUE(try_parse({}, plain_spec(), &cli, &err)) << err;
+  EXPECT_FALSE(cli.metrics);
+  EXPECT_TRUE(cli.metrics_path.empty());
+  EXPECT_EQ(cli.metrics_interval_us, 1000u);
+  EXPECT_EQ(cli.metrics_format, "json");
+  // Bare --metrics samples without exporting a document.
+  ASSERT_TRUE(try_parse({"--metrics"}, plain_spec(), &cli, &err)) << err;
+  EXPECT_TRUE(cli.metrics);
+  EXPECT_TRUE(cli.metrics_path.empty());
+  // --metrics=<path> samples and exports; the other knobs ride along.
+  ASSERT_TRUE(try_parse({"--metrics=m.json", "--metrics-interval=250",
+                         "--metrics-format=csv"},
+                        plain_spec(), &cli, &err))
+      << err;
+  EXPECT_TRUE(cli.metrics);
+  EXPECT_EQ(cli.metrics_path, "m.json");
+  EXPECT_EQ(cli.metrics_interval_us, 250u);
+  EXPECT_EQ(cli.metrics_format, "csv");
+  // Unlike --trace, the metrics flags are not gated behind supports_trace:
+  // every bench accepts them, including trace-capable ones.
+  ASSERT_TRUE(try_parse({"--metrics"}, trace_spec(), &cli, &err)) << err;
+  EXPECT_TRUE(cli.metrics);
+}
+
+TEST(CliTest, RejectsBadMetricsArguments) {
+  Cli cli;
+  std::string err;
+  EXPECT_FALSE(try_parse({"--metrics="}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("--metrics"), std::string::npos);
+  EXPECT_FALSE(try_parse({"--metrics-interval=0"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("--metrics-interval"), std::string::npos);
+  EXPECT_FALSE(try_parse({"--metrics-interval=abc"}, plain_spec(), &cli,
+                         &err));
+  EXPECT_FALSE(try_parse({"--metrics-format=xml"}, plain_spec(), &cli, &err));
+  EXPECT_NE(err.find("--metrics-format"), std::string::npos);
+}
+
+TEST(CliTest, UsageMentionsMetricsFlags) {
+  const std::string plain = Cli::usage(plain_spec());
+  EXPECT_NE(plain.find("--metrics"), std::string::npos);
+  EXPECT_NE(plain.find("--metrics-interval"), std::string::npos);
+  EXPECT_NE(plain.find("--metrics-format"), std::string::npos);
+}
+
 TEST(CliTest, RunnerOptionsCarryJobsAndFilter) {
   Cli cli;
   std::string err;

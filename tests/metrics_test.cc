@@ -61,6 +61,29 @@ TEST(TablePrinter, CsvOutput) {
   EXPECT_EQ(os.str(), "x,y\n1,2\n");
 }
 
+TEST(TablePrinter, CsvEscapesPerRfc4180) {
+  // Cells with a comma, quote, or newline get quoted (with embedded quotes
+  // doubled); plain cells stay unquoted.
+  std::ostringstream os;
+  TablePrinter t({"name", "note"}, os);
+  t.add_row({"a,b", "plain"});
+  t.add_row({"say \"hi\"", "line1\nline2"});
+  t.print_csv();
+  EXPECT_EQ(os.str(),
+            "name,note\n"
+            "\"a,b\",plain\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+TEST(LatencyRecorder, P999Us) {
+  LatencyRecorder r;
+  for (int i = 0; i < 999; ++i) r.record(10_us);
+  r.record(1000_us);
+  r.record(1000_us);
+  EXPECT_NEAR(r.p99_us(), 10.0, 1.0);
+  EXPECT_NEAR(r.p999_us(), 1000.0, 1000.0 * 0.04);
+}
+
 TEST(TablePrinter, NumberFormatting) {
   EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::num(2.0, 0), "2");

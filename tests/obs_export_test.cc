@@ -1,0 +1,142 @@
+// eo-metrics exporters and the structural validator (src/obs/export).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace eo::obs {
+namespace {
+
+MetricsDoc make_doc() {
+  MetricsDoc doc;
+  doc.n_cores = 2;
+  doc.interval = 1000000;  // 1 ms
+  doc.ticks = 3;
+  doc.counters.push_back({"sched.context_switches", 12});
+  doc.counters.push_back({"vb.decisions", 4});
+  doc.gauges.push_back({"kern.live_tasks", 5});
+  HistogramSummary h;
+  h.name = "kern.wakeup_latency_ns";
+  h.count = 2;
+  h.min = 100;
+  h.max = 300;
+  h.mean = 200.0;
+  h.p50 = 100;
+  h.p95 = 300;
+  h.p99 = 300;
+  h.p999 = 300;
+  doc.histograms.push_back(h);
+  for (int f = 0; f < 3; ++f) {
+    TickSample t;
+    t.ts = (f + 1) * 1000000;
+    t.live_tasks = 5;
+    t.online_cores = 2;
+    t.d_context_switches = f == 0 ? 0 : 2;
+    doc.tick_series.push_back(t);
+    for (int c = 0; c < 2; ++c) {
+      CoreSample s;
+      s.rq_depth = c + 1;
+      s.schedulable = c + 1;
+      s.running = 1;
+      s.online = 1;
+      doc.core_series.push_back(s);
+    }
+  }
+  doc.watchdog_checks = 3;
+  return doc;
+}
+
+TEST(ObsExport, JsonRendersAndValidates) {
+  const std::string text = render(make_doc(), "json");
+  std::string err;
+  EXPECT_TRUE(validate_metrics_json(text, &err)) << err;
+  EXPECT_NE(text.find("\"schema\":\"eo-metrics\""), std::string::npos);
+}
+
+TEST(ObsExport, JsonIsDeterministic) {
+  // Same document -> byte-identical text (export order is registration
+  // order; nothing host-dependent is rendered).
+  EXPECT_EQ(render(make_doc(), "json"), render(make_doc(), "json"));
+}
+
+TEST(ObsExport, CsvHasGlobalAndPerCoreRows) {
+  const std::string text = render(make_doc(), "csv");
+  std::istringstream is(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line.rfind("ts_ns,core,", 0), 0u);
+  std::size_t rows = 0, global_rows = 0;
+  while (std::getline(is, line)) {
+    ++rows;
+    if (line.find(",-1,") != std::string::npos) ++global_rows;
+  }
+  // 3 frames x (1 global + 2 core rows).
+  EXPECT_EQ(rows, 9u);
+  EXPECT_EQ(global_rows, 3u);
+}
+
+TEST(ObsExport, ReportSummarizes) {
+  const std::string text = render(make_doc(), "report");
+  EXPECT_NE(text.find("eo-metrics report: cores=2"), std::string::npos);
+  EXPECT_NE(text.find("watchdog: checks=3 violations=0"), std::string::npos);
+  EXPECT_NE(text.find("sched.context_switches 12"), std::string::npos);
+  EXPECT_NE(text.find("p999=300"), std::string::npos);
+}
+
+TEST(ObsExport, ReportListsViolations) {
+  MetricsDoc doc = make_doc();
+  doc.watchdog_violations = 1;
+  doc.violation_records.push_back({1000, "rq_depth_sum", "sum mismatch"});
+  const std::string text = render(doc, "report");
+  EXPECT_NE(text.find("VIOLATION"), std::string::npos);
+  EXPECT_NE(text.find("rq_depth_sum"), std::string::npos);
+}
+
+TEST(ObsExport, ExportToFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/eo_metrics_test.json";
+  std::string err;
+  ASSERT_TRUE(export_to_file(make_doc(), path, "json", &err)) << err;
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), render(make_doc(), "json"));
+  std::remove(path.c_str());
+}
+
+TEST(ObsExport, RejectsUnknownFormat) {
+  std::string err;
+  EXPECT_FALSE(export_to_file(make_doc(), "/tmp/x", "xml", &err));
+  EXPECT_NE(err.find("unknown metrics format"), std::string::npos);
+}
+
+TEST(ObsExport, ValidatorRejectsWrongSchema) {
+  std::string text = render(make_doc(), "json");
+  const std::string from = "\"schema\":\"eo-metrics\"";
+  text.replace(text.find(from), from.size(), "\"schema\":\"eo-other\"");
+  std::string err;
+  EXPECT_FALSE(validate_metrics_json(text, &err));
+}
+
+TEST(ObsExport, ValidatorRejectsMisalignedCoreSeries) {
+  // A core's sample list shorter than the tick list must fail: the two
+  // series are meaningful only frame-aligned.
+  MetricsDoc doc = make_doc();
+  std::string text = render(doc, "json");
+  // Drop one core-sample object: find the last sample in the text.
+  const std::string sample_marker = "{\"rq\":2,";
+  const std::size_t last = text.rfind(sample_marker);
+  ASSERT_NE(last, std::string::npos);
+  const std::size_t end = text.find('}', last);
+  // Also strip the separating comma before the removed object.
+  std::size_t begin = last;
+  while (begin > 0 && text[begin - 1] != ',') --begin;
+  text.erase(begin - 1, end - begin + 2);
+  std::string err;
+  EXPECT_FALSE(validate_metrics_json(text, &err));
+}
+
+}  // namespace
+}  // namespace eo::obs

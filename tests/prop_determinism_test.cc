@@ -7,6 +7,7 @@
 #include "exp/runner.h"
 #include "exp/sweep.h"
 #include "metrics/experiment.h"
+#include "obs/export.h"
 #include "trace/export.h"
 #include "workloads/memcached.h"
 #include "workloads/mutilate.h"
@@ -150,6 +151,64 @@ TEST(Determinism, SameSeedSweepRendersByteIdenticalJson) {
   EXPECT_EQ(a, c);  // --jobs must not change the cells
   std::string err;
   EXPECT_TRUE(exp::validate_result_json(a, &err)) << err;
+}
+
+// The telemetry property from src/obs/: the eo-metrics document is a pure
+// function of the simulation, so identical seeds export byte-identical JSON.
+TEST(Determinism, IdenticalSeedByteIdenticalMetricsDoc) {
+  const auto& spec = workloads::find_benchmark("ocean");
+  auto render_doc = [&] {
+    RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 2;
+    rc.seed = 7;
+    rc.features = core::Features::optimized();
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 300_s;
+    rc.metrics.enabled = true;
+    rc.metrics.interval = 500_us;
+    const auto r = run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, 16, 42, 0.05);
+    });
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.metrics != nullptr);
+    return obs::render(*r.metrics, "json");
+  };
+  const std::string a = render_doc();
+  const std::string b = render_doc();
+  EXPECT_EQ(a, b);
+  std::string err;
+  EXPECT_TRUE(obs::validate_metrics_json(a, &err)) << err;
+}
+
+// Sampling must be pure observation: turning metrics on cannot perturb the
+// simulation itself.
+TEST(Determinism, MetricsOnDoesNotPerturbSimulation) {
+  const auto& spec = workloads::find_benchmark("ocean");
+  auto run = [&](bool metrics_on) {
+    RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 2;
+    rc.seed = 7;
+    rc.features = core::Features::optimized();
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 300_s;
+    rc.metrics.enabled = metrics_on;
+    rc.metrics.interval = 500_us;
+    return run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, 16, 42, 0.05);
+    });
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  ASSERT_TRUE(off.completed && on.completed);
+  EXPECT_EQ(off.exec_time, on.exec_time);
+  EXPECT_EQ(off.stats.context_switches, on.stats.context_switches);
+  EXPECT_EQ(off.stats.total_migrations(), on.stats.total_migrations());
+  EXPECT_EQ(off.stats.vb_parks, on.stats.vb_parks);
+  EXPECT_EQ(off.metrics, nullptr);
+  ASSERT_NE(on.metrics, nullptr);
+  EXPECT_GT(on.metrics->ticks, 0u);
 }
 
 TEST(Determinism, SeedChangesPerturbStochasticRuns) {
