@@ -171,6 +171,22 @@ const std::vector<Micro> kMicros = {
 // meta next to the live number so the improvement is visible in the JSON.
 constexpr double kPreOverhaulEngineScheduleFireNs = 192.8;
 
+// --gate: hard ns/item ceilings for the simulator hot paths. Reference-host
+// numbers at the time the gate was recorded (engine 65, context switches
+// 530, futex 750, obs tick 550 after the unchanged-core watchdog trim), with
+// 3x headroom so slower or noisy CI hosts don't flake; a breach at 3x means
+// a real algorithmic regression, not scatter.
+struct GateLimit {
+  const char* name;
+  double limit_ns;
+};
+const std::vector<GateLimit> kGates = {
+    {"engine_schedule_fire", 204.0},
+    {"kernel_context_switches", 1590.0},
+    {"futex_round_trip", 2250.0},
+    {"obs_sample_tick", 1650.0},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,7 +194,19 @@ int main(int argc, char** argv) {
       .id = "simcore_microbench",
       .summary = "host-performance microbenchmarks of the simulator core",
       .default_scale = 1.0};
-  const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
+  // --gate is this bench's own flag (the uniform Cli rejects unknown
+  // arguments): strip it before parsing.
+  bool gate = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gate") {
+      gate = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const bench::Cli cli =
+      bench::Cli::parse(static_cast<int>(args.size()), args.data(), spec);
   const int reps = std::max(3, static_cast<int>(50 * cli.scale));
 
   std::vector<std::string> names;
@@ -246,5 +274,30 @@ int main(int argc, char** argv) {
   }
   doc.set_meta("baseline_main_ns_per_item_engine_schedule_fire",
                kPreOverhaulEngineScheduleFireNs);
-  return bench::write_results(cli, doc) ? 0 : 1;
+
+  bool gate_ok = true;
+  if (gate) {
+    for (const GateLimit& gl : kGates) {
+      std::size_t idx = kMicros.size();
+      for (std::size_t i = 0; i < kMicros.size(); ++i) {
+        if (std::string(kMicros[i].name) == gl.name) idx = i;
+      }
+      if (idx == kMicros.size() || !out.at({idx}).ran()) {
+        std::fprintf(stderr, "gate: %s did not run (filtered out?)\n",
+                     gl.name);
+        gate_ok = false;
+        continue;
+      }
+      const double got = host_ns_per_item[idx];
+      const bool ok = got <= gl.limit_ns;
+      std::printf("gate: %-26s %8.1f ns/item (limit %.0f) %s\n", gl.name,
+                  got, gl.limit_ns, ok ? "OK" : "FAIL");
+      gate_ok &= ok;
+    }
+    if (!gate_ok) {
+      std::fprintf(stderr,
+                   "gate: simulator hot-path regression (see limits above)\n");
+    }
+  }
+  return bench::write_results(cli, doc) && gate_ok ? 0 : 1;
 }

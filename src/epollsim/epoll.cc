@@ -24,13 +24,8 @@ const EpollInstance& EpollTable::get(int epfd) const {
 }
 
 bool EpollTable::remove_waiter(EpollInstance& ep, const kern::Task* task) {
-  for (auto it = ep.waiters.begin(); it != ep.waiters.end(); ++it) {
-    if (it->task == task) {
-      ep.waiters.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return ep.waiters.erase_first(
+      [task](const EpollWaiter& w) { return w.task == task; });
 }
 
 }  // namespace eo::epollsim

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/fifo_ring.h"
 #include "kern/klock.h"
 #include "obs/metrics.h"
 #include "trace/trace.h"
@@ -32,10 +32,12 @@ struct EpollWaiter {
 struct EpollInstance {
   int id = -1;
   kern::KLock lock;
-  /// Posted-but-unconsumed event payloads (FIFO).
-  std::deque<std::uint64_t> ready;
+  /// Posted-but-unconsumed event payloads (FIFO). A ring, not a deque: the
+  /// open-loop serving path posts and consumes millions of events per run,
+  /// and deque block churn would put heap traffic on every request.
+  FifoRing<std::uint64_t> ready;
   /// Tasks blocked in epoll_wait (FIFO).
-  std::deque<EpollWaiter> waiters;
+  FifoRing<EpollWaiter> waiters;
   /// Diagnostics.
   std::uint64_t posted = 0;
   std::uint64_t consumed = 0;

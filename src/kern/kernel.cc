@@ -1028,15 +1028,18 @@ bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
 bool Kernel::handle_futex_wake(Core& c, Task* t, const FutexWakeAction& a) {
   auto& b = futex_.bucket_for(a.word);
   SimDuration cost = cfg_.costs.syscall_entry;
-  std::vector<futex::Waiter> list;
+  // Fill a pooled chain in place: a recycled chain keeps its waiters
+  // vector's capacity, so the steady-state wake performs no allocation.
+  WakeChain* chain = alloc_chain();
   const int want = a.n <= 0 ? 0 : a.n;
   SimDuration hold = cfg_.costs.bucket_lock_hold;
   // Only waiters on this word are woken: buckets are shared by hash, and
   // futex_wake matches the (uaddr) key while walking the bucket queue.
   for (auto it = b.waiters.begin();
-       it != b.waiters.end() && static_cast<int>(list.size()) < want;) {
+       it != b.waiters.end() &&
+       static_cast<int>(chain->waiters.size()) < want;) {
     if (it->task->wait_word == a.word) {
-      list.push_back(*it);
+      chain->waiters.push_back(*it);
       it = b.waiters.erase(it);
       hold += cfg_.costs.wake_q_move;
     } else {
@@ -1046,13 +1049,15 @@ bool Kernel::handle_futex_wake(Core& c, Task* t, const FutexWakeAction& a) {
   cost += futex_.lock_bucket(b, now(), hold, c.id, t->tid) + hold;
   ++stats_.futex_wakes;
   EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kFutexWake, t->tid,
-                 a.word->id_, static_cast<std::uint64_t>(list.size()));
-  if (list.empty()) {
+                 a.word->id_,
+                 static_cast<std::uint64_t>(chain->waiters.size()));
+  if (chain->waiters.empty()) {
+    release_chain(chain);
     t->overhead += cost;
     finish_action(t, 0);
     return true;
   }
-  start_wake_chain(c, t, std::move(list), cost);
+  start_wake_chain(c, t, chain, cost, /*delivered=*/false);
   return false;
 }
 
@@ -1076,14 +1081,12 @@ void Kernel::release_chain(WakeChain* chain) {
   chain_free_.push_back(chain);
 }
 
-void Kernel::start_wake_chain(Core& c, Task* waker,
-                              std::vector<futex::Waiter> list,
-                              SimDuration initial_cost) {
+void Kernel::start_wake_chain(Core& c, Task* waker, WakeChain* chain,
+                              SimDuration initial_cost, bool delivered) {
   waker->in_kernel = true;
-  WakeChain* chain = alloc_chain();
   chain->waker = waker;
   chain->waker_cpu = c.id;
-  chain->waiters = std::move(list);
+  chain->delivered = delivered;
   EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kWakeupBegin, waker->tid,
                  static_cast<std::uint64_t>(chain->waiters.size()), 0);
   engine_.schedule_after(initial_cost,
@@ -1276,26 +1279,12 @@ bool Kernel::handle_epoll_post(Core& c, Task* t, const EpollPostAction& a) {
   ep.waiters.pop_front();
   ++ep.consumed;
   finish_action(w.task, a.data);
-  std::vector<futex::Waiter> list{futex::Waiter{w.task, w.vb}};
   // Deliver via the same serialized wake machinery, but the result is
   // already set on the waiter; the chain only performs the wakeups.
-  start_wake_chain_delivered(c, t, std::move(list), cost);
-  return false;
-}
-
-void Kernel::start_wake_chain_delivered(Core& c, Task* waker,
-                                        std::vector<futex::Waiter> list,
-                                        SimDuration initial_cost) {
-  waker->in_kernel = true;
   WakeChain* chain = alloc_chain();
-  chain->waker = waker;
-  chain->waker_cpu = c.id;
-  chain->waiters = std::move(list);
-  chain->delivered = true;
-  EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kWakeupBegin, waker->tid,
-                 static_cast<std::uint64_t>(chain->waiters.size()), 0);
-  engine_.schedule_after(initial_cost,
-                         [this, chain] { wake_chain_step(chain); });
+  chain->waiters.push_back(futex::Waiter{w.task, w.vb});
+  start_wake_chain(c, t, chain, cost, /*delivered=*/true);
+  return false;
 }
 
 void Kernel::epoll_post_external(int epfd, std::uint64_t data) {
@@ -1393,11 +1382,14 @@ void Kernel::balance_timer_fire(Core& c) {
 
 bool Kernel::try_balance(Core& c, bool newly_idle) {
   if (!c.online) return false;
-  std::vector<sched::Runqueue*> rqs;
-  rqs.reserve(cores_.size());
-  for (auto& cp : cores_) rqs.push_back(&cp->rq);
+  if (balance_rqs_.size() != cores_.size()) {
+    balance_rqs_.clear();
+    balance_rqs_.reserve(cores_.size());
+    for (auto& cp : cores_) balance_rqs_.push_back(&cp->rq);
+  }
   const auto d = balancer_.find_pull(
-      c.id, rqs, [this](int i) { return core(i).online; }, newly_idle);
+      c.id, balance_rqs_, [this](int i) { return core(i).online; },
+      newly_idle);
   if (!d) return false;
   apply_migration(*d);
   return true;

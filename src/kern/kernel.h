@@ -270,11 +270,12 @@ class Kernel {
   void handle_exit(Core& c, Task* t);
 
   // --- wake machinery ---
-  void start_wake_chain(Core& c, Task* waker, std::vector<futex::Waiter> list,
-                        SimDuration initial_cost);
-  void start_wake_chain_delivered(Core& c, Task* waker,
-                                  std::vector<futex::Waiter> list,
-                                  SimDuration initial_cost);
+  /// Launches a chain whose `waiters` the caller filled in place (borrowed
+  /// from alloc_chain, so the steady state builds no per-wake vector).
+  /// `delivered` marks chains whose waiters already carry their results
+  /// (epoll path).
+  void start_wake_chain(Core& c, Task* waker, WakeChain* chain,
+                        SimDuration initial_cost, bool delivered);
   void wake_chain_step(WakeChain* chain);
   /// Vanilla wakeup of a sleeping task: core selection, enqueue, preempt.
   /// Returns the waker-side cost.
@@ -313,6 +314,9 @@ class Kernel {
   std::vector<WakeChain*> chain_free_;
 
   std::vector<std::unique_ptr<Core>> cores_;
+  /// Runqueue views handed to the balancer, built once — try_balance runs on
+  /// every newly-idle pick and balance tick, so it must not allocate.
+  std::vector<sched::Runqueue*> balance_rqs_;
   int n_online_ = 0;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::deque<SimWord> words_;

@@ -66,6 +66,13 @@ std::vector<MetricRegistry::CounterValue> MetricRegistry::snapshot_counters()
   return out;
 }
 
+void MetricRegistry::counter_values(std::vector<std::uint64_t>* out) const {
+  out->resize(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    (*out)[i] = *counters_[i].cell;
+  }
+}
+
 std::vector<MetricRegistry::GaugeValue> MetricRegistry::snapshot_gauges()
     const {
   std::vector<GaugeValue> out;

@@ -92,6 +92,14 @@ class MetricRegistry {
 
   /// Counter names and current values, in registration order.
   std::vector<CounterValue> snapshot_counters() const;
+  /// Values only, in registration order, written into a caller-owned buffer
+  /// (resized to n_counters()). The per-frame watchdog path: once the buffer
+  /// has warmed to size, no allocation and no string copies.
+  void counter_values(std::vector<std::uint64_t>* out) const;
+  /// Name of the i-th registered counter, in registration order.
+  const std::string& counter_name(std::size_t i) const {
+    return counters_[i].name;
+  }
   /// Gauge names and current values, in registration order.
   std::vector<GaugeValue> snapshot_gauges() const;
   const std::vector<HistogramRef>& histograms() const { return histograms_; }

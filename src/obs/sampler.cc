@@ -91,7 +91,29 @@ void Sampler::sample_now() {
   }
   series_.push(t, scratch_.data());
   if (watchdog_ != nullptr) {
-    watchdog_->check(t.ts, scratch_.data(), n_cores_, g);
+    // Mark cores whose sample moved since the previous frame; the watchdog
+    // skips re-checking unchanged, previously clean cores. The mask affects
+    // cost only — frames, series, and verdicts are byte-identical either
+    // way (the eo-metrics determinism property pins this).
+    const std::uint8_t* mask = nullptr;
+    if (prev_cores_.size() == scratch_.size()) {
+      changed_.resize(scratch_.size());
+      for (std::size_t i = 0; i < scratch_.size(); ++i) {
+        const CoreSample& a = scratch_[i];
+        const CoreSample& b = prev_cores_[i];
+        // Field-wise compare (not memcmp): struct padding is indeterminate.
+        changed_[i] = a.rq_depth == b.rq_depth &&
+                              a.schedulable == b.schedulable &&
+                              a.vb_parked == b.vb_parked &&
+                              a.bwd_skipped == b.bwd_skipped &&
+                              a.running == b.running && a.online == b.online
+                          ? 0
+                          : 1;
+      }
+      mask = changed_.data();
+    }
+    watchdog_->check(t.ts, scratch_.data(), n_cores_, g, mask);
+    prev_cores_ = scratch_;
   }
   prev_ = g;
   have_prev_ = true;

@@ -139,6 +139,10 @@ class Sampler {
   sim::EventId event_ = sim::kInvalidEvent;
   SeriesStore series_;
   std::vector<CoreSample> scratch_;  ///< reused per tick, no allocation
+  /// Previous frame's cores + per-core "differs from previous" mask, so the
+  /// watchdog only re-checks cores that actually changed.
+  std::vector<CoreSample> prev_cores_;
+  std::vector<std::uint8_t> changed_;
   bool have_prev_ = false;
   GlobalSample prev_;
   std::uint64_t ticks_ = 0;

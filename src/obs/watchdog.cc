@@ -1,6 +1,6 @@
 #include "obs/watchdog.h"
 
-#include <sstream>
+#include <cstdio>
 
 namespace eo::obs {
 
@@ -13,9 +13,15 @@ void InvariantWatchdog::record(SimTime ts, const char* invariant,
 }
 
 int InvariantWatchdog::check(SimTime ts, const CoreSample* cores, int n_cores,
-                             const GlobalSample& g) {
+                             const GlobalSample& g,
+                             const std::uint8_t* changed) {
   ++checks_;
   const std::uint64_t before = violations_;
+
+  if (core_violated_.size() != static_cast<std::size_t>(n_cores)) {
+    // First frame (or core count changed): treat every core as suspect.
+    core_violated_.assign(static_cast<std::size_t>(n_cores), 1);
+  }
 
   std::int64_t sum_rq = 0;
   std::int64_t sum_parked = 0;
@@ -23,35 +29,44 @@ int InvariantWatchdog::check(SimTime ts, const CoreSample* cores, int n_cores,
     const CoreSample& c = cores[i];
     sum_rq += c.rq_depth;
     sum_parked += c.vb_parked;
-    std::ostringstream id;
-    id << "core " << i;
+    // Unchanged sample + clean last frame => provably still clean (the
+    // per-core invariants read nothing but this CoreSample).
+    if (changed != nullptr && !changed[i] && !core_violated_[i]) continue;
+    const std::uint64_t v0 = violations_;
+    // The core id is formatted lazily, only when a violation is recorded —
+    // this loop is the sampler's per-frame hot path.
+    char id[24];
+    std::snprintf(id, sizeof(id), "core %d", i);
     if (c.rq_depth < 0 || c.vb_parked < 0 || c.bwd_skipped < 0) {
       record(ts, "core_nonnegative",
-             id.str() + ": negative rq_depth/vb_parked/bwd_skipped");
+             std::string(id) + ": negative rq_depth/vb_parked/bwd_skipped");
     }
     if (c.vb_parked > c.rq_depth) {
       record(ts, "vb_parked_bound",
-             id.str() + ": vb_parked " + std::to_string(c.vb_parked) +
+             std::string(id) + ": vb_parked " + std::to_string(c.vb_parked) +
                  " > rq_depth " + std::to_string(c.rq_depth));
     }
     if (c.schedulable != c.rq_depth - c.vb_parked) {
       record(ts, "schedulable_split",
-             id.str() + ": schedulable " + std::to_string(c.schedulable) +
-                 " != rq_depth " + std::to_string(c.rq_depth) +
-                 " - vb_parked " + std::to_string(c.vb_parked));
+             std::string(id) + ": schedulable " +
+                 std::to_string(c.schedulable) + " != rq_depth " +
+                 std::to_string(c.rq_depth) + " - vb_parked " +
+                 std::to_string(c.vb_parked));
     }
     // Skip flags live on queued entities only (never on the running one).
     const std::int32_t queued = c.rq_depth - (c.running ? 1 : 0);
     if (c.bwd_skipped > queued) {
       record(ts, "bwd_skipped_bound",
-             id.str() + ": bwd_skipped " + std::to_string(c.bwd_skipped) +
-                 " > queued " + std::to_string(queued));
+             std::string(id) + ": bwd_skipped " +
+                 std::to_string(c.bwd_skipped) + " > queued " +
+                 std::to_string(queued));
     }
     if (!c.online && c.rq_depth != 0) {
       record(ts, "offline_core_empty",
-             id.str() + ": offline with rq_depth " +
+             std::string(id) + ": offline with rq_depth " +
                  std::to_string(c.rq_depth));
     }
+    core_violated_[i] = violations_ != v0 ? 1 : 0;
   }
 
   // VB keeps parked tasks on their runqueues, so every runnable-or-running
@@ -100,22 +115,25 @@ int InvariantWatchdog::check(SimTime ts, const CoreSample* cores, int n_cores,
     }
   }
   if (registry_ != nullptr) {
-    const auto counters = registry_->snapshot_counters();
-    if (prev_counters_.size() == counters.size()) {
-      for (std::size_t i = 0; i < counters.size(); ++i) {
-        if (counters[i].value < prev_counters_[i]) {
+    // Values only, into a reused buffer: no strings, no allocation once the
+    // buffers have warmed to the registry size. Names are looked up only if
+    // a regression must be reported.
+    registry_->counter_values(&cur_counters_);
+    if (have_prev_counters_ && prev_counters_.size() == cur_counters_.size()) {
+      for (std::size_t i = 0; i < cur_counters_.size(); ++i) {
+        if (cur_counters_[i] < prev_counters_[i]) {
           record(ts, "counter_monotonic",
-                 counters[i].name + " regressed " +
+                 registry_->counter_name(i) + " regressed " +
                      std::to_string(prev_counters_[i]) + " -> " +
-                     std::to_string(counters[i].value));
+                     std::to_string(cur_counters_[i]));
         }
       }
-    } else if (!prev_counters_.empty()) {
+    } else if (have_prev_counters_) {
       record(ts, "counter_set_stable",
              "registered counter count changed mid-run");
     }
-    prev_counters_.clear();
-    for (const auto& c : counters) prev_counters_.push_back(c.value);
+    prev_counters_.swap(cur_counters_);
+    have_prev_counters_ = true;
   }
 
   prev_ = g;
@@ -129,6 +147,9 @@ void InvariantWatchdog::clear() {
   records_.clear();
   have_prev_ = false;
   prev_counters_.clear();
+  cur_counters_.clear();
+  have_prev_counters_ = false;
+  core_violated_.clear();
 }
 
 }  // namespace eo::obs

@@ -42,8 +42,15 @@ class InvariantWatchdog {
       : registry_(registry) {}
 
   /// Checks one frame. Returns the number of violations found in it.
+  ///
+  /// `changed` (optional, n_cores entries) marks cores whose sample differs
+  /// from the previous frame. The per-core invariants are pure functions of
+  /// one CoreSample, so a core that is unchanged AND was clean last frame is
+  /// provably still clean and its checks are skipped — the sampler passes
+  /// the mask so steady-state checking costs O(changed cores). Null checks
+  /// every core (the behaviour tests rely on).
   int check(SimTime ts, const CoreSample* cores, int n_cores,
-            const GlobalSample& g);
+            const GlobalSample& g, const std::uint8_t* changed = nullptr);
 
   std::uint64_t checks() const { return checks_; }
   std::uint64_t violations() const { return violations_; }
@@ -64,7 +71,12 @@ class InvariantWatchdog {
   std::vector<Violation> records_;
   bool have_prev_ = false;
   GlobalSample prev_;
+  /// Reused counter buffers (swapped each check, so neither reallocates).
   std::vector<std::uint64_t> prev_counters_;
+  std::vector<std::uint64_t> cur_counters_;
+  bool have_prev_counters_ = false;
+  /// Last check's per-core verdict, for the unchanged-core skip.
+  std::vector<std::uint8_t> core_violated_;
 };
 
 }  // namespace eo::obs

@@ -25,6 +25,8 @@ void Runqueue::enqueue(SchedEntity* se, bool wakeup) {
   }
   tree_.insert(se);
   ++nr_running_;
+  // A migrated entity may arrive still skip-flagged; the count follows it.
+  if (se->bwd_skip) ++nr_bwd_skipped_;
   m_enqueues_.inc();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kEnqueue, se->tid,
                  static_cast<std::uint64_t>(nr_running_),
@@ -39,6 +41,7 @@ void Runqueue::dequeue(SchedEntity* se) {
   se->cpu = -1;
   --nr_running_;
   if (se->vb_blocked) --nr_vb_blocked_;
+  if (se->bwd_skip) --nr_bwd_skipped_;
   m_dequeues_.inc();
   update_min_vruntime();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kDequeue, se->tid,
@@ -61,6 +64,7 @@ SchedEntity* Runqueue::pick_next() {
           static_cast<std::uint64_t>(std::max(1, nr_schedulable() - 1));
       if (pick_seq_ - e->bwd_skip_seq > others) {
         e->bwd_skip = false;
+        --nr_bwd_skipped_;
         EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kBwdSkipClear, e->tid,
                        pick_seq_, 0);
         chosen = e;
@@ -82,6 +86,7 @@ SchedEntity* Runqueue::pick_next() {
       EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kBwdSkipClear, e->tid,
                      pick_seq_, 1);
     }
+    nr_bwd_skipped_ = 0;  // curr_ is null, so every flagged entity was queued
     chosen = tree_.leftmost();
   }
   if (chosen == nullptr) return nullptr;
@@ -174,26 +179,21 @@ std::vector<SchedEntity*> Runqueue::detach_all() {
     e->cpu = -1;
     --nr_running_;
     if (e->vb_blocked) --nr_vb_blocked_;
+    if (e->bwd_skip) --nr_bwd_skipped_;
     out.push_back(e);
   }
   EO_CHECK_EQ(nr_running_, 0);
   EO_CHECK_EQ(nr_vb_blocked_, 0);
+  EO_CHECK_EQ(nr_bwd_skipped_, 0);
   return out;
 }
 
 void Runqueue::bwd_mark_skip(SchedEntity* se) {
   EO_CHECK(se->on_rq);
   EO_CHECK(se != curr_);
+  if (!se->bwd_skip) ++nr_bwd_skipped_;
   se->bwd_skip = true;
   se->bwd_skip_seq = pick_seq_;
-}
-
-int Runqueue::count_bwd_skipped() const {
-  int n = 0;
-  for (SchedEntity* e = tree_.leftmost(); e != nullptr; e = tree_.next(e)) {
-    if (e->bwd_skip) ++n;
-  }
-  return n;
 }
 
 SchedEntity* Runqueue::migration_candidate() const {

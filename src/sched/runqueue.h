@@ -99,10 +99,11 @@ class Runqueue {
   /// Marks `se` (on this queue, not curr) as skipped.
   void bwd_mark_skip(SchedEntity* se);
 
-  /// Queued entities currently carrying a BWD skip flag. A tree walk — for
-  /// the sampler only, never the scheduling fast path (skip flags are
-  /// cleared inside pick_next, so cheap bookkeeping would be fragile).
-  int count_bwd_skipped() const;
+  /// Queued entities currently carrying a BWD skip flag. O(1): the count is
+  /// maintained at every flag transition (mark, expiry inside pick_next,
+  /// enqueue/dequeue of a flagged entity), so per-sample telemetry no longer
+  /// walks the tree on every core.
+  int count_bwd_skipped() const { return nr_bwd_skipped_; }
 
   /// Picks a migration victim: a queued, non-VB-blocked, non-skipped entity
   /// preferring the tree tail (least likely to run soon). Returns nullptr if
@@ -126,6 +127,7 @@ class Runqueue {
   std::int64_t min_vruntime_ = 0;
   int nr_running_ = 0;
   int nr_vb_blocked_ = 0;
+  int nr_bwd_skipped_ = 0;
   std::uint64_t pick_seq_ = 0;
   /// Monotonic counter ordering VB-parked entities FIFO at the tail.
   std::int64_t vb_park_seq_ = 0;

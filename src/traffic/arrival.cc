@@ -1,0 +1,134 @@
+#include "traffic/arrival.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eo::traffic {
+
+const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kOnOff: return "onoff";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  EO_CHECK(cfg_.rate_per_sec > 0) << "arrival rate must be positive";
+  switch (cfg_.kind) {
+    case ArrivalKind::kPoisson:
+      peak_rate_ = cfg_.rate_per_sec;
+      break;
+    case ArrivalKind::kOnOff: {
+      EO_CHECK(cfg_.on_fraction > 0 && cfg_.on_fraction <= 1)
+          << "on_fraction must be in (0, 1]";
+      EO_CHECK(cfg_.burst_factor >= 1) << "burst_factor must be >= 1";
+      EO_CHECK(cfg_.burst_factor * cfg_.on_fraction <= 1)
+          << "burst_factor * on_fraction must be <= 1 (mean rate must be "
+             "attainable)";
+      EO_CHECK(cfg_.mean_burst > 0);
+      rate_on_ = cfg_.rate_per_sec * cfg_.burst_factor;
+      // Solve on_fraction*rate_on + (1-on_fraction)*rate_off = rate.
+      rate_off_ =
+          cfg_.on_fraction < 1
+              ? cfg_.rate_per_sec * (1.0 - cfg_.burst_factor * cfg_.on_fraction) /
+                    (1.0 - cfg_.on_fraction)
+              : cfg_.rate_per_sec;
+      // Alternating renewal process: time-average ON fraction equals
+      // mean_on / (mean_on + mean_off).
+      mean_off_ = cfg_.on_fraction < 1
+                      ? static_cast<SimDuration>(
+                            static_cast<double>(cfg_.mean_burst) *
+                            (1.0 - cfg_.on_fraction) / cfg_.on_fraction)
+                      : 0;
+      peak_rate_ = rate_on_;
+      // First dwell: start in the state a stationary observer would likely
+      // see, but keep it simple and deterministic — begin ON.
+      on_ = true;
+      state_until_ =
+          static_cast<SimTime>(rng_.exponential(static_cast<double>(cfg_.mean_burst)));
+      break;
+    }
+    case ArrivalKind::kDiurnal:
+      EO_CHECK(cfg_.diurnal_amplitude >= 0 && cfg_.diurnal_amplitude < 1)
+          << "diurnal_amplitude must be in [0, 1)";
+      EO_CHECK(cfg_.diurnal_period > 0);
+      peak_rate_ = cfg_.rate_per_sec * (1.0 + cfg_.diurnal_amplitude);
+      break;
+  }
+}
+
+void ArrivalProcess::advance_state(SimTime t) {
+  while (state_until_ <= t) {
+    on_ = !on_;
+    const double mean = on_ ? static_cast<double>(cfg_.mean_burst)
+                            : static_cast<double>(mean_off_);
+    // A zero-length OFF state (on_fraction == 1) degenerates to always-ON.
+    state_until_ += std::max<SimDuration>(
+        1, static_cast<SimDuration>(rng_.exponential(std::max(mean, 1.0))));
+  }
+}
+
+double ArrivalProcess::rate_at(SimTime t) const {
+  switch (cfg_.kind) {
+    case ArrivalKind::kPoisson:
+      return cfg_.rate_per_sec;
+    case ArrivalKind::kOnOff:
+      // Only exact for t at-or-before the state frontier; the fleet asks at
+      // arrival times, which always are.
+      return t < state_until_ ? (on_ ? rate_on_ : rate_off_)
+                              : (on_ ? rate_off_ : rate_on_);
+    case ArrivalKind::kDiurnal: {
+      const double phase = 2.0 * M_PI * static_cast<double>(t) /
+                           static_cast<double>(cfg_.diurnal_period);
+      return cfg_.rate_per_sec * (1.0 + cfg_.diurnal_amplitude * std::sin(phase));
+    }
+  }
+  return 0.0;
+}
+
+SimTime ArrivalProcess::next_after(SimTime now) {
+  switch (cfg_.kind) {
+    case ArrivalKind::kPoisson: {
+      const double mean_gap_ns = 1e9 / cfg_.rate_per_sec;
+      const auto gap = static_cast<SimDuration>(rng_.exponential(mean_gap_ns));
+      return now + std::max<SimDuration>(gap, 1);
+    }
+    case ArrivalKind::kOnOff: {
+      // Exact piecewise-exponential sampling: draw at the current state's
+      // rate; if the candidate lands past the state boundary, restart from
+      // the boundary in the next state (memorylessness makes this exact).
+      SimTime t = now;
+      for (;;) {
+        advance_state(t);
+        const double rate = on_ ? rate_on_ : rate_off_;
+        if (rate <= 0) {
+          // Silent state: nothing can arrive until it ends.
+          t = state_until_;
+          continue;
+        }
+        const auto gap = std::max<SimDuration>(
+            1, static_cast<SimDuration>(rng_.exponential(1e9 / rate)));
+        if (t + gap <= state_until_) return t + gap;
+        t = state_until_;
+      }
+    }
+    case ArrivalKind::kDiurnal: {
+      // Lewis-Shedler thinning against the peak envelope.
+      const double mean_gap_ns = 1e9 / peak_rate_;
+      SimTime t = now;
+      for (;;) {
+        const auto gap = std::max<SimDuration>(
+            1, static_cast<SimDuration>(rng_.exponential(mean_gap_ns)));
+        t += gap;
+        if (rng_.next_double() * peak_rate_ <= rate_at(t)) return t;
+      }
+    }
+  }
+  return now + 1;
+}
+
+}  // namespace eo::traffic

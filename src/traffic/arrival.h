@@ -1,0 +1,94 @@
+// Open-loop arrival processes.
+//
+// Closed-loop clients (fig12's mutilate model) stop offering load when the
+// server queues — exactly the regime where production tail latency is made.
+// This module generates *open-loop* arrivals: request times are drawn from a
+// stochastic intensity process that does not care how the server is doing.
+// Three intensities are provided:
+//
+//  * Poisson  — homogeneous rate λ (the classical M/G/k client);
+//  * on-off   — a 2-state MMPP: exponentially-dwelling ON (burst) and OFF
+//               (lull) states whose rates average to λ, modelling
+//               synchronized client bursts;
+//  * diurnal  — a sinusoidally modulated λ(t), a compressed day/night cycle.
+//
+// Every draw comes from a seeded `common/rng` stream owned by the process,
+// so an arrival sequence is a pure function of (config, seed): the traffic
+// subsystem inherits the simulator's byte-identical determinism property.
+// Time-varying intensities use Lewis-Shedler thinning against the peak-rate
+// envelope, which is exact for any bounded λ(t).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eo::traffic {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson,
+  kOnOff,
+  kDiurnal,
+};
+
+const char* to_string(ArrivalKind k);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Long-run mean arrival rate (aggregate over the connections this process
+  /// drives), in arrivals per simulated second. Must be > 0.
+  double rate_per_sec = 1000.0;
+
+  // --- on-off (MMPP-2) parameters ---
+  /// Long-run fraction of time spent in the ON (burst) state, in (0, 1].
+  double on_fraction = 0.25;
+  /// ON-state rate = burst_factor * rate_per_sec. The OFF-state rate is
+  /// derived so the long-run mean stays rate_per_sec; requires
+  /// burst_factor * on_fraction <= 1.
+  double burst_factor = 3.0;
+  /// Mean dwell time of one ON burst (exponential). OFF dwell is derived
+  /// from on_fraction.
+  SimDuration mean_burst = 10_ms;
+
+  // --- diurnal parameters ---
+  /// Peak deviation from the mean as a fraction of the mean, in [0, 1):
+  /// λ(t) = rate_per_sec * (1 + amplitude * sin(2πt/period)).
+  double diurnal_amplitude = 0.6;
+  /// Length of one compressed "day".
+  SimDuration diurnal_period = 1_s;
+};
+
+/// One arrival stream. Construction validates the config (EO_CHECK).
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& cfg, std::uint64_t seed);
+
+  /// Draws the next arrival time strictly after `now`. Calls must pass
+  /// non-decreasing times (the fleet always passes the previous arrival).
+  SimTime next_after(SimTime now);
+
+  /// Instantaneous intensity at `t`, in arrivals per second. For the on-off
+  /// process this reflects the state the process would be in at `t` given
+  /// the dwell sequence drawn so far.
+  double rate_at(SimTime t) const;
+
+  const ArrivalConfig& config() const { return cfg_; }
+
+ private:
+  /// Advances the on-off state machine so state_until_ > t.
+  void advance_state(SimTime t);
+
+  ArrivalConfig cfg_;
+  Rng rng_;
+  // Derived on-off rates (per ns) and dwell means.
+  double rate_on_ = 0.0;   ///< arrivals per second in ON
+  double rate_off_ = 0.0;  ///< arrivals per second in OFF
+  SimDuration mean_off_ = 0;
+  bool on_ = true;
+  SimTime state_until_ = 0;
+  /// Peak envelope rate for thinning (diurnal).
+  double peak_rate_ = 0.0;
+};
+
+}  // namespace eo::traffic

@@ -1,0 +1,195 @@
+#include "traffic/fleet.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "runtime/sim_thread.h"
+
+namespace eo::traffic {
+
+using runtime::Env;
+using runtime::SimThread;
+
+namespace {
+/// Sentinel epoll payload asking a worker to exit.
+constexpr std::uint64_t kStopEvent = ~0ull;
+constexpr std::uint32_t kOpSetBit = 0x80000000u;
+}  // namespace
+
+double mean_request_cost_ns(const ServeHostConfig& cfg) {
+  const double copy =
+      cfg.copy_ns_per_byte * static_cast<double>(cfg.value_bytes);
+  return static_cast<double>(cfg.parse_cost) +
+         static_cast<double>(cfg.lookup_cost) + copy +
+         cfg.set_fraction * static_cast<double>(cfg.set_extra_cost);
+}
+
+ServeHost::ServeHost(kern::Kernel& k, const ServeHostConfig& cfg,
+                     Connection* conns, const ArrivalConfig& arrival,
+                     std::uint64_t seed)
+    : k_(k),
+      cfg_(cfg),
+      conns_(conns),
+      arrival_(arrival, Rng(seed).next_u64()),
+      rng_(Rng(seed ^ 0x746661726369ull).next_u64()) {
+  EO_CHECK(cfg_.n_workers > 0);
+  EO_CHECK(cfg_.n_connections > 0);
+  EO_CHECK(cfg_.max_pending > 0);
+  EO_CHECK(cfg_.n_connections < kOpSetBit)
+      << "connection index must fit in 31 bits";
+  epfd_ = k_.epoll_create();
+  // Build the slab with its free list fully chained; the request path only
+  // ever pops/pushes the head.
+  slab_.resize(cfg_.max_pending);
+  for (std::uint32_t i = 0; i < cfg_.max_pending; ++i) {
+    slab_[i].next_free = i + 1 < cfg_.max_pending ? i + 1 : kNoSlot;
+  }
+  free_head_ = 0;
+}
+
+void ServeHost::start(SimTime inject_until) {
+  inject_until_ = inject_until;
+  const SimDuration copy_cost = static_cast<SimDuration>(
+      cfg_.copy_ns_per_byte * static_cast<double>(cfg_.value_bytes));
+  for (int i = 0; i < cfg_.n_workers; ++i) {
+    ServeHost* self = this;
+    runtime::spawn(k_, "serve-worker-" + std::to_string(i),
+                   [self, copy_cost](Env env) -> SimThread {
+                     const ServeHostConfig& c = self->cfg_;
+                     for (;;) {
+                       const std::uint64_t ev =
+                           co_await env.epoll_wait(self->epfd_);
+                       if (ev == kStopEvent) break;
+                       const auto slot = static_cast<std::uint32_t>(ev);
+                       const bool is_set =
+                           (self->slab_[slot].conn_and_op & kOpSetBit) != 0;
+                       co_await env.compute(c.parse_cost);
+                       co_await env.compute(c.lookup_cost);
+                       co_await env.compute(is_set
+                                                ? c.set_extra_cost + copy_cost
+                                                : copy_cost);
+                       self->complete(slot, env.now());
+                     }
+                     co_return;
+                   });
+  }
+  schedule_arrival(arrival_.next_after(k_.now()));
+}
+
+void ServeHost::schedule_arrival(SimTime at) {
+  if (at >= inject_until_) return;  // stop the process
+  k_.engine().schedule_at(at, [this] {
+    const SimTime now = k_.now();
+    inject(now);
+    schedule_arrival(arrival_.next_after(now));
+  });
+}
+
+void ServeHost::inject(SimTime now) {
+  const auto ci = static_cast<std::uint32_t>(
+      rng_.next_below(cfg_.n_connections));
+  Connection& conn = conns_[ci];
+  if (free_head_ == kNoSlot) {
+    // Slab full: shed (open-loop overload; never queue outside the model).
+    ++shed_;
+    if (conn.shed != 0xffffu) ++conn.shed;
+    return;
+  }
+  const std::uint32_t slot = free_head_;
+  PendingRequest& req = slab_[slot];
+  free_head_ = req.next_free;
+  ++live_slots_;
+  req.arrival = now;
+  req.conn_and_op = ci | (rng_.chance(cfg_.set_fraction) ? kOpSetBit : 0);
+  ++conn.issued;
+  ++conn.inflight;
+  ++issued_;
+  k_.epoll_post_external(epfd_, slot);
+}
+
+void ServeHost::complete(std::uint32_t slot, SimTime now) {
+  PendingRequest& req = slab_[slot];
+  const std::uint32_t ci = req.conn_and_op & ~kOpSetBit;
+  const SimDuration lat = now - req.arrival;
+  latency_.add(lat);
+  Connection& conn = conns_[ci];
+  ++conn.completed;
+  --conn.inflight;
+  conn.last_latency_us = static_cast<std::uint32_t>(
+      std::min<SimDuration>(lat / 1000, 0xffffffff));
+  ++completed_;
+  req.next_free = free_head_;
+  free_head_ = slot;
+  --live_slots_;
+}
+
+void ServeHost::stop() {
+  for (int i = 0; i < cfg_.n_workers; ++i) {
+    k_.epoll_post_external(epfd_, kStopEvent);
+  }
+}
+
+void ServeHost::begin_window() {
+  latency_.clear();
+  issued_ = 0;
+  completed_ = 0;
+  shed_ = 0;
+}
+
+ConnectionFleet::ConnectionFleet(const FleetConfig& cfg) : cfg_(cfg) {
+  EO_CHECK(cfg_.n_hosts > 0);
+  EO_CHECK(cfg_.window > 0);
+  conns_.resize(static_cast<std::size_t>(cfg_.n_hosts) *
+                cfg_.host.n_connections);
+}
+
+FleetResult ConnectionFleet::run() {
+  FleetResult res;
+  res.total_connections = conns_.size();
+  res.window = cfg_.window;
+  const SimTime warm_end = cfg_.warmup;
+  const SimTime win_end = cfg_.warmup + cfg_.window;
+  for (int h = 0; h < cfg_.n_hosts; ++h) {
+    // Per-host seed: a fixed mix of (fleet seed, host index), so the host
+    // sequence is stable under reordering and fleet resizing.
+    const std::uint64_t host_seed =
+        Rng(cfg_.seed + 0x9e3779b97f4a7c15ull *
+                            (static_cast<std::uint64_t>(h) + 1))
+            .next_u64();
+    kern::KernelConfig kc = cfg_.kernel;
+    kc.seed = host_seed;
+    kern::Kernel k(kc);
+    ServeHost host(k, cfg_.host,
+                   &conns_[static_cast<std::size_t>(h) *
+                           cfg_.host.n_connections],
+                   cfg_.arrival, host_seed);
+    host.start(win_end);
+    k.run_until(warm_end);
+    host.begin_window();
+    k.run_until(win_end);
+    k.run_until(win_end + cfg_.drain);
+    host.stop();
+    k.run_to_exit(k.now() + 1_s);
+
+    res.latency.merge(host.latency());
+    res.issued += host.issued();
+    res.completed += host.completed();
+    res.shed += host.shed();
+    if (h == 0) res.stats = k.stats();
+    if (k.sampler().enabled()) {
+      const bool violated = k.watchdog().violations() != 0;
+      const bool have_violating =
+          res.metrics != nullptr && res.metrics->watchdog_violations != 0;
+      if (res.metrics == nullptr || (violated && !have_violating)) {
+        res.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
+      }
+    }
+  }
+  for (const Connection& c : conns_) {
+    if (c.issued > 0) ++res.active_connections;
+  }
+  return res;
+}
+
+}  // namespace eo::traffic

@@ -1,0 +1,183 @@
+// Million-connection open-loop serving fleet.
+//
+// The fig12 memcached model is testbed-sized: one machine, a closed set of
+// requests, a growing request vector. This module scales the same epoll
+// worker pattern to production shape: many simulated hosts, each serving
+// tens of thousands of connections whose aggregate arrivals come from an
+// open-loop `ArrivalProcess`, with every per-connection and per-request byte
+// accounted for:
+//
+//  * `Connection` is a packed 16-byte record; the fleet keeps ONE flat slab
+//    of n_hosts * conns_per_host of them resident for the whole sweep, so a
+//    million connections cost 16 MB and a connection id is just an index.
+//  * In-flight requests live in a per-host `PendingRequest` slot slab (the
+//    engine's free-list idiom): posting a request allocates a slot, the
+//    epoll payload is the slot index, completion frees it. The steady state
+//    performs no heap allocation anywhere on the request path — arrival
+//    draw, epoll post, worker wake, service, histogram record, slot free.
+//  * When the slab is exhausted the host sheds the arrival (counted, never
+//    queued) — the open-loop analogue of a full accept queue.
+//
+// Hosts are simulated sequentially and deterministically: host h's kernel
+// and arrival stream are seeded from (fleet seed, h), so the fleet result is
+// a pure function of its config and adding hosts never perturbs existing
+// ones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "kern/kernel.h"
+#include "traffic/arrival.h"
+
+namespace eo::traffic {
+
+/// Packed per-connection record. The million-connection scenario keeps one
+/// of these per simulated connection resident, so the size is a contract
+/// (tests/traffic_sizeof_test.cc gates it).
+struct Connection {
+  std::uint32_t issued = 0;       ///< requests arrived on this connection
+  std::uint32_t completed = 0;    ///< responses delivered
+  std::uint32_t last_latency_us = 0;
+  std::uint16_t inflight = 0;     ///< issued - completed - shed
+  std::uint16_t shed = 0;         ///< arrivals dropped (slab full), saturating
+};
+static_assert(sizeof(Connection) == 16, "per-connection record must stay packed");
+
+/// One in-flight request: a slot in the per-host slab. Free slots chain
+/// through `next_free`; live slots carry the arrival time and the
+/// connection index (bit 31 of conn_and_op flags a SET).
+struct PendingRequest {
+  SimTime arrival = 0;
+  std::uint32_t conn_and_op = 0;
+  std::uint32_t next_free = 0;
+};
+static_assert(sizeof(PendingRequest) == 16, "request slot must stay packed");
+
+struct ServeHostConfig {
+  /// Worker threads blocking in epoll_wait (libevent style). The headline
+  /// scenario oversubscribes: 16 workers on 8 cores.
+  int n_workers = 16;
+  std::uint32_t n_connections = 32768;
+  /// Request-slab slots; arrivals beyond this many in flight are shed.
+  std::uint32_t max_pending = 8192;
+  /// SET fraction (the paper's 10:1 GET:SET mix).
+  double set_fraction = 1.0 / 11.0;
+  /// CPU cost per request: parse + lookup + value copy (+ SET extra).
+  SimDuration parse_cost = 2000;
+  SimDuration lookup_cost = 500;
+  SimDuration set_extra_cost = 1800;
+  std::uint32_t value_bytes = 4096;
+  double copy_ns_per_byte = 0.8;
+};
+
+/// Mean CPU cost of one request under `cfg`, in ns — the capacity yardstick
+/// benches use to place offered-load points relative to saturation.
+double mean_request_cost_ns(const ServeHostConfig& cfg);
+
+/// One simulated host: workers + request slab + its slice of the fleet's
+/// connection slab, driven by an aggregate open-loop arrival process.
+class ServeHost {
+ public:
+  /// `conns` points at this host's `cfg.n_connections` connection records
+  /// (fleet-owned storage outliving the host).
+  ServeHost(kern::Kernel& k, const ServeHostConfig& cfg, Connection* conns,
+            const ArrivalConfig& arrival, std::uint64_t seed);
+
+  /// Spawns the workers and schedules the arrival process; arrivals stop at
+  /// `inject_until` (simulated time).
+  void start(SimTime inject_until);
+
+  /// Asks workers to exit once the pending queue drains.
+  void stop();
+
+  /// Opens the measurement window: clears the latency histogram and the
+  /// windowed counters (connection records keep accumulating).
+  void begin_window();
+
+  const Histogram& latency() const { return latency_; }
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t shed() const { return shed_; }
+  /// Request slots currently in flight.
+  std::uint32_t pending() const { return live_slots_; }
+  int epoll_fd() const { return epfd_; }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  void schedule_arrival(SimTime at);
+  void inject(SimTime now);
+  void complete(std::uint32_t slot, SimTime now);
+
+  kern::Kernel& k_;
+  ServeHostConfig cfg_;
+  Connection* conns_;
+  int epfd_ = -1;
+  ArrivalProcess arrival_;
+  Rng rng_;  ///< connection pick + GET/SET draw
+  std::vector<PendingRequest> slab_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint32_t live_slots_ = 0;
+  SimTime inject_until_ = 0;
+  // Windowed counters (begin_window resets them).
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  Histogram latency_;
+};
+
+struct FleetConfig {
+  int n_hosts = 32;
+  ServeHostConfig host;
+  /// Per-host aggregate arrival stream (rate_per_sec is per host).
+  ArrivalConfig arrival;
+  /// Kernel template; per-host seeds are derived from `seed`, not taken
+  /// from here.
+  kern::KernelConfig kernel;
+  SimDuration warmup = 10_ms;
+  SimDuration window = 40_ms;
+  SimDuration drain = 5_ms;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated outcome of one fleet run (one offered-load point).
+struct FleetResult {
+  Histogram latency;  ///< merged measurement-window latencies, all hosts
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t total_connections = 0;
+  /// Connections that carried at least one request over the whole run.
+  std::uint64_t active_connections = 0;
+  SimDuration window = 0;
+  /// Host 0's scheduler counters (representative; hosts are homogeneous).
+  sched::SchedStats stats;
+  /// Telemetry of one host when sampling is enabled: the first host whose
+  /// watchdog recorded a violation, else host 0 (so sweep-level checks see
+  /// failures anywhere in the fleet).
+  std::shared_ptr<obs::MetricsDoc> metrics;
+};
+
+/// The fleet: owns the flat connection slab (all hosts, resident for the
+/// object's lifetime) and runs the hosts one after another.
+class ConnectionFleet {
+ public:
+  explicit ConnectionFleet(const FleetConfig& cfg);
+
+  /// Simulates every host through warmup + window + drain and aggregates.
+  FleetResult run();
+
+  std::size_t total_connections() const { return conns_.size(); }
+  const Connection* connections() const { return conns_.data(); }
+
+ private:
+  FleetConfig cfg_;
+  std::vector<Connection> conns_;
+};
+
+}  // namespace eo::traffic

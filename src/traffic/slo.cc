@@ -1,0 +1,45 @@
+#include "traffic/slo.h"
+
+namespace eo::traffic {
+
+SloPoint SloReporter::summarize(double offered_ops_s, const FleetResult& r,
+                                SimDuration measure) {
+  SloPoint p;
+  p.offered_ops_s = offered_ops_s;
+  p.completed = r.completed;
+  const double secs = static_cast<double>(measure) / 1e9;
+  if (secs > 0) p.achieved_ops_s = static_cast<double>(r.completed) / secs;
+  const std::uint64_t offered_in_window = r.issued + r.shed;
+  if (offered_in_window > 0) {
+    p.shed_fraction = static_cast<double>(r.shed) /
+                      static_cast<double>(offered_in_window);
+  }
+  p.mean_us = r.latency.mean() / 1e3;
+  p.p50_us = static_cast<double>(r.latency.p50()) / 1e3;
+  p.p99_us = static_cast<double>(r.latency.p99()) / 1e3;
+  p.p999_us = static_cast<double>(r.latency.p999()) / 1e3;
+  return p;
+}
+
+double SloReporter::max_load_within(double p99_slo_us) const {
+  double best = 0;
+  for (const SloPoint& p : curve_) {
+    if (p.p99_us <= p99_slo_us && p.offered_ops_s > best) {
+      best = p.offered_ops_s;
+    }
+  }
+  return best;
+}
+
+void SloReporter::print(std::FILE* out) const {
+  std::fprintf(out, "%14s %14s %8s %10s %10s %10s %10s\n", "offered(ops/s)",
+               "achieved(ops/s)", "shed%", "mean(us)", "p50(us)", "p99(us)",
+               "p999(us)");
+  for (const SloPoint& p : curve_) {
+    std::fprintf(out, "%14.0f %14.0f %7.2f%% %10.1f %10.1f %10.1f %10.1f\n",
+                 p.offered_ops_s, p.achieved_ops_s, p.shed_fraction * 100.0,
+                 p.mean_us, p.p50_us, p.p99_us, p.p999_us);
+  }
+}
+
+}  // namespace eo::traffic

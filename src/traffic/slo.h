@@ -1,0 +1,55 @@
+// Offered-load vs tail-latency SLO curves.
+//
+// Open-loop serving results are read as a curve: sweep the offered load and
+// report achieved throughput plus latency quantiles at each point. The
+// interesting features are the p99/p999 knees — the load beyond which tail
+// latency departs the service-time floor — and the highest load still inside
+// a latency SLO. This module turns per-point `FleetResult`s into that curve
+// and answers the SLO question; benches feed the points into the exp sweep
+// JSON (`eo-bench-result`) for the machine-readable version.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "traffic/fleet.h"
+
+namespace eo::traffic {
+
+/// One point of the curve: an offered load (aggregate, all hosts) and the
+/// measured outcome at that load.
+struct SloPoint {
+  double offered_ops_s = 0;
+  double achieved_ops_s = 0;
+  /// Arrivals shed because the request slab was full, as a fraction of
+  /// arrivals offered in the window.
+  double shed_fraction = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  std::uint64_t completed = 0;
+};
+
+class SloReporter {
+ public:
+  /// Collapses one fleet run into a curve point. `measure` is the interval
+  /// completions were counted over (window + drain).
+  static SloPoint summarize(double offered_ops_s, const FleetResult& r,
+                            SimDuration measure);
+
+  void add(const SloPoint& p) { curve_.push_back(p); }
+  const std::vector<SloPoint>& curve() const { return curve_; }
+
+  /// Highest offered load whose point meets `p99_slo_us` (0 if none does).
+  /// The canonical SLO-capacity number for a VB-on vs VB-off comparison.
+  double max_load_within(double p99_slo_us) const;
+
+  /// Human-readable curve table.
+  void print(std::FILE* out) const;
+
+ private:
+  std::vector<SloPoint> curve_;
+};
+
+}  // namespace eo::traffic

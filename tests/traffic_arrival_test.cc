@@ -1,0 +1,116 @@
+// Arrival-process tests: every process must be a deterministic function of
+// (config, seed), produce strictly increasing times, and hit its configured
+// long-run mean rate — the property the offered-load axis of the serving
+// bench depends on.
+#include "traffic/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace eo::traffic {
+namespace {
+
+std::vector<SimTime> draw(const ArrivalConfig& cfg, std::uint64_t seed,
+                          int n) {
+  ArrivalProcess p(cfg, seed);
+  std::vector<SimTime> out;
+  out.reserve(static_cast<std::size_t>(n));
+  SimTime t = 0;
+  for (int i = 0; i < n; ++i) out.push_back(t = p.next_after(t));
+  return out;
+}
+
+std::uint64_t count_until(const ArrivalConfig& cfg, std::uint64_t seed,
+                          SimTime horizon) {
+  ArrivalProcess p(cfg, seed);
+  std::uint64_t n = 0;
+  SimTime t = 0;
+  while ((t = p.next_after(t)) < horizon) ++n;
+  return n;
+}
+
+ArrivalConfig config_of(ArrivalKind kind) {
+  ArrivalConfig cfg;
+  cfg.kind = kind;
+  cfg.rate_per_sec = 1e6;
+  cfg.mean_burst = 1_ms;        // many on-off cycles per simulated second
+  cfg.diurnal_period = 100_ms;  // many full "days" per simulated second
+  return cfg;
+}
+
+TEST(Arrival, TimesAreStrictlyIncreasing) {
+  for (const ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kOnOff,
+                                 ArrivalKind::kDiurnal}) {
+    const std::vector<SimTime> ts = draw(config_of(kind), 42, 20000);
+    SimTime prev = 0;
+    for (const SimTime t : ts) {
+      ASSERT_GT(t, prev) << to_string(kind);
+      prev = t;
+    }
+  }
+}
+
+TEST(Arrival, SequenceIsAPureFunctionOfConfigAndSeed) {
+  for (const ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kOnOff,
+                                 ArrivalKind::kDiurnal}) {
+    const ArrivalConfig cfg = config_of(kind);
+    EXPECT_EQ(draw(cfg, 7, 5000), draw(cfg, 7, 5000)) << to_string(kind);
+    EXPECT_NE(draw(cfg, 7, 5000), draw(cfg, 8, 5000)) << to_string(kind);
+  }
+}
+
+TEST(Arrival, PoissonHitsTheMeanRate) {
+  const std::uint64_t n = count_until(config_of(ArrivalKind::kPoisson), 1, 1_s);
+  EXPECT_NEAR(static_cast<double>(n), 1e6, 0.02 * 1e6);
+}
+
+TEST(Arrival, OnOffAveragesToTheMeanRateAcrossBursts) {
+  // ~250 on-off cycles in the horizon: burst noise averages out.
+  const std::uint64_t n = count_until(config_of(ArrivalKind::kOnOff), 1, 1_s);
+  EXPECT_NEAR(static_cast<double>(n), 1e6, 0.10 * 1e6);
+}
+
+TEST(Arrival, OnOffVisitsBothRates) {
+  const ArrivalConfig cfg = config_of(ArrivalKind::kOnOff);
+  ArrivalProcess p(cfg, 3);
+  std::set<double> rates;
+  SimTime t = 0;
+  for (int i = 0; i < 50000; ++i) rates.insert(p.rate_at(t = p.next_after(t)));
+  ASSERT_EQ(rates.size(), 2u);  // burst rate and lull rate, nothing else
+  const double burst = *rates.rbegin();
+  const double lull = *rates.begin();
+  EXPECT_DOUBLE_EQ(burst, cfg.rate_per_sec * cfg.burst_factor);
+  EXPECT_GT(burst, lull);
+  // Derived lull rate keeps the long-run mean at rate_per_sec.
+  EXPECT_NEAR(cfg.on_fraction * burst + (1 - cfg.on_fraction) * lull,
+              cfg.rate_per_sec, 1e-6 * cfg.rate_per_sec);
+}
+
+TEST(Arrival, DiurnalAveragesToTheMeanOverFullPeriods) {
+  // Thinning is exact, so over whole periods the mean must come out.
+  const std::uint64_t n =
+      count_until(config_of(ArrivalKind::kDiurnal), 1, 1_s);
+  EXPECT_NEAR(static_cast<double>(n), 1e6, 0.03 * 1e6);
+}
+
+TEST(Arrival, DiurnalIntensityFollowsTheSinusoid) {
+  const ArrivalConfig cfg = config_of(ArrivalKind::kDiurnal);
+  const ArrivalProcess p(cfg, 1);
+  const double peak = cfg.rate_per_sec * (1 + cfg.diurnal_amplitude);
+  const double trough = cfg.rate_per_sec * (1 - cfg.diurnal_amplitude);
+  EXPECT_NEAR(p.rate_at(cfg.diurnal_period / 4), peak, 1e-3 * peak);
+  EXPECT_NEAR(p.rate_at(3 * cfg.diurnal_period / 4), trough, 1e-3 * peak);
+  EXPECT_NEAR(p.rate_at(0), cfg.rate_per_sec, 1e-3 * peak);
+}
+
+TEST(Arrival, UnitBurstFactorDegeneratesToPoisson) {
+  ArrivalConfig cfg = config_of(ArrivalKind::kOnOff);
+  cfg.burst_factor = 1.0;  // ON and OFF rates coincide
+  const std::uint64_t n = count_until(cfg, 1, 1_s);
+  EXPECT_NEAR(static_cast<double>(n), 1e6, 0.02 * 1e6);
+}
+
+}  // namespace
+}  // namespace eo::traffic

@@ -1,0 +1,180 @@
+// ServeHost / ConnectionFleet tests. The load-bearing one is the
+// allocation-counting check (same global-new harness as
+// sim_event_fn_test.cc): once a host is warm, the entire request path —
+// arrival draw, slot-slab claim, epoll post, worker wake, service computes,
+// latency record, slot free — must not touch the heap. That property is what
+// lets the fleet scale to a million connections without the allocator on the
+// critical path.
+#include "traffic/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "traffic/slo.h"
+
+// --- allocation-counting harness (whole test binary) ---
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace eo::traffic {
+namespace {
+
+/// Allocations performed by `body`.
+template <typename Body>
+std::uint64_t allocs_during(Body&& body) {
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  body();
+  return g_news.load(std::memory_order_relaxed) - before;
+}
+
+ServeHostConfig small_host() {
+  ServeHostConfig hc;
+  hc.n_connections = 4096;
+  hc.max_pending = 1024;
+  return hc;
+}
+
+/// Offered load as `frac` of one 8-core host's CPU capacity.
+double offered(const ServeHostConfig& hc, double frac) {
+  return frac * 8e9 / mean_request_cost_ns(hc);
+}
+
+TEST(Fleet, RequestPathIsAllocationFreeWhenWarm) {
+  kern::KernelConfig kc;
+  kc.topo = hw::Topology::make_cores(8, 1);
+  kern::Kernel k(kc);
+  const ServeHostConfig hc = small_host();
+  std::vector<Connection> conns(hc.n_connections);
+  ArrivalConfig ac;
+  // Saturating load: the request slab and the epoll ready ring reach their
+  // steady-state footprint during warmup, so nothing grows afterwards.
+  ac.rate_per_sec = offered(hc, 1.3);
+  ServeHost host(k, hc, conns.data(), ac, 7);
+  host.start(/*inject_until=*/45_ms);
+  k.run_until(20_ms);  // warm: slabs, rings, wake-chain pool, engine heap
+  const std::uint64_t n = allocs_during([&] { k.run_until(45_ms); });
+  EXPECT_EQ(n, 0u);
+  // Drain, stop the workers, and check the books balance.
+  k.run_until(50_ms);
+  host.stop();
+  k.run_to_exit(k.now() + 1_s);
+  EXPECT_GT(host.completed(), 0u);
+  EXPECT_GT(host.shed(), 0u);  // 1.3x load must shed
+  EXPECT_EQ(host.pending(), 0u);
+  EXPECT_EQ(host.issued(), host.completed());
+}
+
+TEST(Fleet, ConnectionRecordsBalanceAfterDrain) {
+  kern::KernelConfig kc;
+  kc.topo = hw::Topology::make_cores(8, 1);
+  kern::Kernel k(kc);
+  const ServeHostConfig hc = small_host();
+  std::vector<Connection> conns(hc.n_connections);
+  ArrivalConfig ac;
+  ac.rate_per_sec = offered(hc, 0.6);
+  ServeHost host(k, hc, conns.data(), ac, 11);
+  host.start(/*inject_until=*/30_ms);
+  k.run_until(40_ms);
+  host.stop();
+  k.run_to_exit(k.now() + 1_s);
+
+  std::uint64_t issued = 0, completed = 0, shed = 0, inflight = 0;
+  for (const Connection& c : conns) {
+    issued += c.issued;
+    completed += c.completed;
+    shed += c.shed;
+    inflight += c.inflight;
+  }
+  EXPECT_EQ(inflight, 0u);
+  EXPECT_EQ(issued, host.issued());
+  EXPECT_EQ(completed, host.completed());
+  EXPECT_EQ(shed, host.shed());
+  EXPECT_EQ(issued, completed);
+  EXPECT_EQ(host.latency().total_count(), host.completed());
+  // At 0.6x load spread over 4096 connections, many carry traffic.
+  std::uint64_t active = 0;
+  for (const Connection& c : conns) active += c.issued > 0 ? 1 : 0;
+  EXPECT_GT(active, hc.n_connections / 2);
+}
+
+TEST(Fleet, OverloadShedsInsteadOfQueueing) {
+  FleetConfig fc;
+  fc.n_hosts = 1;
+  fc.host = small_host();
+  fc.host.max_pending = 8;  // tiny slab: overload must shed, never queue
+  fc.kernel.topo = hw::Topology::make_cores(8, 1);
+  fc.arrival.rate_per_sec = offered(fc.host, 3.0);
+  fc.warmup = 2_ms;
+  fc.window = 10_ms;
+  fc.drain = 2_ms;
+  ConnectionFleet fleet(fc);
+  const FleetResult r = fleet.run();
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_EQ(r.latency.total_count(), r.completed);
+  // Shed requests never enter the latency histogram, so the tail reflects at
+  // most max_pending in flight — bounded, not collapse.
+  const SloPoint p =
+      SloReporter::summarize(fc.arrival.rate_per_sec, r, fc.window + fc.drain);
+  EXPECT_GT(p.shed_fraction, 0.1);
+  EXPECT_LT(p.achieved_ops_s, p.offered_ops_s);
+}
+
+TEST(Fleet, RunIsDeterministic) {
+  FleetConfig fc;
+  fc.n_hosts = 2;
+  fc.host = small_host();
+  fc.host.n_connections = 2048;
+  fc.kernel.topo = hw::Topology::make_cores(8, 1);
+  fc.arrival.kind = ArrivalKind::kOnOff;
+  fc.arrival.rate_per_sec = offered(fc.host, 0.8);
+  fc.warmup = 2_ms;
+  fc.window = 10_ms;
+  fc.drain = 2_ms;
+  fc.seed = 1234;
+
+  ConnectionFleet a(fc);
+  ConnectionFleet b(fc);
+  const FleetResult ra = a.run();
+  const FleetResult rb = b.run();
+  EXPECT_EQ(ra.issued, rb.issued);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.shed, rb.shed);
+  EXPECT_EQ(ra.active_connections, rb.active_connections);
+  EXPECT_EQ(ra.latency.total_count(), rb.latency.total_count());
+  EXPECT_EQ(ra.latency.p50(), rb.latency.p50());
+  EXPECT_EQ(ra.latency.p99(), rb.latency.p99());
+  EXPECT_EQ(ra.latency.p999(), rb.latency.p999());
+  EXPECT_EQ(ra.stats.context_switches, rb.stats.context_switches);
+  // The per-connection slabs must agree record by record.
+  for (std::size_t i = 0; i < a.total_connections(); ++i) {
+    ASSERT_EQ(a.connections()[i].issued, b.connections()[i].issued) << i;
+    ASSERT_EQ(a.connections()[i].completed, b.connections()[i].completed) << i;
+  }
+
+  // A different seed must give a different run (the axes are live).
+  FleetConfig fc2 = fc;
+  fc2.seed = 4321;
+  ConnectionFleet c(fc2);
+  EXPECT_NE(c.run().latency.p50(), ra.latency.p50());
+}
+
+}  // namespace
+}  // namespace eo::traffic

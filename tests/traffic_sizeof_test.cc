@@ -1,0 +1,33 @@
+// Footprint contract for the million-connection scenario: the per-connection
+// and per-request records are sized structs (16 bytes each), so a million
+// resident connections cost 16 MB and the request slab never exceeds
+// max_pending * 16 bytes per host. The static_asserts in traffic/fleet.h
+// catch growth at compile time; these tests pin the numbers in the ctest
+// report and check the derived slab arithmetic.
+#include "traffic/fleet.h"
+
+#include <gtest/gtest.h>
+
+namespace eo::traffic {
+namespace {
+
+TEST(TrafficSizeof, ConnectionRecordIs16Bytes) {
+  EXPECT_EQ(sizeof(Connection), 16u);
+  EXPECT_LE(alignof(Connection), 4u);
+}
+
+TEST(TrafficSizeof, PendingRequestSlotIs16Bytes) {
+  EXPECT_EQ(sizeof(PendingRequest), 16u);
+  EXPECT_LE(alignof(PendingRequest), 8u);
+}
+
+TEST(TrafficSizeof, DefaultFleetIsOneMillionConnectionsIn16MB) {
+  const FleetConfig fc;  // 32 hosts x 32768 connections
+  ConnectionFleet fleet(fc);
+  EXPECT_EQ(fleet.total_connections(), 1048576u);
+  EXPECT_EQ(fleet.total_connections() * sizeof(Connection),
+            std::size_t{16} << 20);
+}
+
+}  // namespace
+}  // namespace eo::traffic
