@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     metrics::RunConfig base;
     base.deadline = 600_s;
     bench::apply_metrics(cli, &base);
+    bench::apply_sched(cli, &base);
     sweep_h.base(base)
         .axis("combo", combo_labels,
               [](metrics::RunConfig& rc, std::size_t ci) {
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
     base.sockets = 2;
     base.deadline = 600_s;
     bench::apply_metrics(cli, &base);
+    bench::apply_sched(cli, &base);
     sweep_b.base(base).axis("reference", {"ft-8T-nobwd"});
   }
   exp::Sweep sweep_i("interval");
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
     base.sockets = 2;
     base.deadline = 2000_s;
     bench::apply_metrics(cli, &base);
+    bench::apply_sched(cli, &base);
     sweep_i.base(base)
         .axis("interval", interval_labels,
               [](metrics::RunConfig& rc, std::size_t ii) {

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   base.sockets = 1;
   base.deadline = 600_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   std::vector<std::string> prim_labels;
   for (const auto p : kPrims) prim_labels.emplace_back(workloads::to_string(p));

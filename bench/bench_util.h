@@ -4,9 +4,10 @@
 // them share the `exp::Cli` command line (see src/exp/cli.h):
 //
 //   <bench> [scale] [--json=<path>] [--jobs=N] [--filter=<substr>] [--list]
-//           [--seed=N] [--trace=<path>] [--trace-format=json|csv]
-//           [--trace-only] [--metrics[=<path>]] [--metrics-interval=<us>]
-//           [--metrics-format=json|csv|report] [--help]
+//           [--seed=N] [--sched=cfs|fifo|rr|pcfs] [--trace=<path>]
+//           [--trace-format=json|csv] [--trace-only] [--metrics[=<path>]]
+//           [--metrics-interval=<us>] [--metrics-format=json|csv|report]
+//           [--help]
 //
 // The positional scale multiplies the simulated round counts, so
 // `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
@@ -133,6 +134,12 @@ inline obs::SamplerConfig metrics_config(const Cli& cli) {
 /// Applies the --metrics* flags to a RunConfig (for benches building sweeps).
 inline void apply_metrics(const Cli& cli, metrics::RunConfig* cfg) {
   cfg->metrics = metrics_config(cli);
+}
+
+/// Applies the --sched flag to a RunConfig, so every kernel the bench builds
+/// runs under the selected policy plugin.
+inline void apply_sched(const Cli& cli, metrics::RunConfig* cfg) {
+  cfg->sched = cli.sched;
 }
 
 /// Checks the run's telemetry and, when --metrics=<path> was given, exports

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   base.features = core::Features::vanilla();
   base.deadline = 600_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("oversubscription");
   sweep.base(base)

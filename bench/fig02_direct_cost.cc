@@ -19,6 +19,7 @@ bool run_traced(const bench::Cli& cli) {
   metrics::RunConfig rc;
   rc.cpus = 1;
   rc.sockets = 1;
+  rc.sched = cli.sched;
   rc.deadline = 600_s;
   rc.trace.enabled = true;
   rc.trace.ring_capacity = 1u << 20;
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   base.sockets = 1;
   base.deadline = 600_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   std::vector<std::string> thread_labels;
   for (int t = 1; t <= 8; ++t) thread_labels.push_back(std::to_string(t) + "T");

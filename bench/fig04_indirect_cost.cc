@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   base.sockets = 1;
   base.deadline = 3000_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("indirect_cost");
   sweep.base(base)

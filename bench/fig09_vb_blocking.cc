@@ -22,6 +22,7 @@ bool run_traced(const bench::Cli& cli) {
   metrics::RunConfig rc;
   rc.cpus = 8;
   rc.sockets = 2;
+  rc.sched = cli.sched;
   rc.features = core::Features::optimized();
   rc.ref_footprint = spec.ref_footprint();
   rc.deadline = 600_s;
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   base.sockets = 2;
   base.deadline = 600_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("vb_blocking");
   sweep.base(base)

@@ -30,6 +30,7 @@ exp::Sweep make_sweep(const bench::Cli& cli, const std::string& name,
   base.sockets = 1;
   base.deadline = 600_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
   sweep.base(base)
       .axis("primitive", kPrimLabels)
       .axis(vary_axis, count_labels,

@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   base.sockets = 2;
   base.deadline = 600_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("elasticity");
   sweep.base(base)

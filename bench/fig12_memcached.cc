@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
 
   metrics::RunConfig base;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("memcached");
   sweep.base(base)

@@ -65,6 +65,7 @@ bool run_traced(const bench::Cli& cli, int items,
   metrics::RunConfig rc;
   rc.cpus = 8;
   rc.sockets = 2;
+  rc.sched = cli.sched;
   rc.features = core::Features::optimized();
   rc.deadline = 2000_s;
   rc.trace.enabled = true;
@@ -112,6 +113,7 @@ int main(int argc, char** argv) {
   base.sockets = 2;
   base.deadline = 2000_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("bwd_spinlocks");
   sweep.base(base)

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   base.sockets = 2;
   base.deadline = 2000_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("user_spinning");
   sweep.base(base)

@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
   base.cpus = 8;
   base.sockets = 1;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("serve_openloop");
   sweep.base(base)

@@ -9,6 +9,12 @@
 // embed an "obs" summary (obs.watchdog_violations). Exits nonzero unless
 // every file passes. Used by the bench_json_smoke / obs_smoke ctests, and
 // handy for checking archived BENCH_*.json documents by hand.
+//
+// json_check --golden=<golden> <file> — determinism mode: additionally
+// requires <file> to be value-identical to <golden> outside the top-level
+// "meta" block (which carries timestamps and host details). The sched_golden
+// ctest uses this to pin the default-policy scheduler output to a document
+// captured before the SchedPolicy refactor.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -66,15 +72,123 @@ bool check_file(const std::string& text, std::string* err) {
   return check_cell_watchdogs(root, err);
 }
 
+/// Value-level equality with a path-annotated reason on mismatch.
+bool values_equal(const eo::json::Value& a, const eo::json::Value& b,
+                  const std::string& path, std::string* err) {
+  if (a.type != b.type) {
+    *err = path + ": type mismatch";
+    return false;
+  }
+  switch (a.type) {
+    case eo::json::Value::kNull:
+      return true;
+    case eo::json::Value::kBool:
+      if (a.b != b.b) {
+        *err = path + ": bool mismatch";
+        return false;
+      }
+      return true;
+    case eo::json::Value::kNumber:
+      if (a.num != b.num) {
+        *err = path + ": " + std::to_string(a.num) + " != " +
+               std::to_string(b.num);
+        return false;
+      }
+      return true;
+    case eo::json::Value::kString:
+      if (a.str != b.str) {
+        *err = path + ": '" + a.str + "' != '" + b.str + "'";
+        return false;
+      }
+      return true;
+    case eo::json::Value::kArray:
+      if (a.items.size() != b.items.size()) {
+        *err = path + ": array length " + std::to_string(a.items.size()) +
+               " != " + std::to_string(b.items.size());
+        return false;
+      }
+      for (std::size_t i = 0; i < a.items.size(); ++i) {
+        if (!values_equal(a.items[i], b.items[i],
+                          path + "[" + std::to_string(i) + "]", err)) {
+          return false;
+        }
+      }
+      return true;
+    case eo::json::Value::kObject:
+      if (a.fields.size() != b.fields.size()) {
+        *err = path + ": field count " + std::to_string(a.fields.size()) +
+               " != " + std::to_string(b.fields.size());
+        return false;
+      }
+      // Field order is part of the contract: the writer is deterministic.
+      for (std::size_t i = 0; i < a.fields.size(); ++i) {
+        if (a.fields[i].first != b.fields[i].first) {
+          *err = path + ": key '" + a.fields[i].first + "' != '" +
+                 b.fields[i].first + "'";
+          return false;
+        }
+        if (!values_equal(a.fields[i].second, b.fields[i].second,
+                          path + "." + a.fields[i].first, err)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return true;
+}
+
+/// Drops the top-level "meta" field (timestamps, host details).
+void drop_meta(eo::json::Value* v) {
+  if (!v->is_object()) return;
+  for (auto it = v->fields.begin(); it != v->fields.end(); ++it) {
+    if (it->first == "meta") {
+      v->fields.erase(it);
+      return;
+    }
+  }
+}
+
+bool check_golden(const std::string& golden_text, const std::string& text,
+                  std::string* err) {
+  eo::json::Value golden, doc;
+  if (!eo::json::parse(golden_text, &golden, err)) {
+    *err = "golden: " + *err;
+    return false;
+  }
+  if (!eo::json::parse(text, &doc, err)) return false;
+  drop_meta(&golden);
+  drop_meta(&doc);
+  return values_equal(golden, doc, "$", err);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: json_check <file>...\n");
+  std::string golden_path;
+  int first_file = 1;
+  if (argc >= 2 && std::string(argv[1]).rfind("--golden=", 0) == 0) {
+    golden_path = std::string(argv[1]).substr(9);
+    first_file = 2;
+  }
+  if (first_file >= argc || (first_file == 2 && golden_path.empty())) {
+    std::fprintf(stderr,
+                 "usage: json_check [--golden=<golden>] <file>...\n");
     return 2;
   }
+  std::string golden_text;
+  if (!golden_path.empty()) {
+    std::ifstream g(golden_path, std::ios::binary);
+    if (!g) {
+      std::fprintf(stderr, "json_check: cannot open golden %s\n",
+                   golden_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << g.rdbuf();
+    golden_text = ss.str();
+  }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     std::ifstream f(argv[i], std::ios::binary);
     if (!f) {
       std::fprintf(stderr, "json_check: cannot open %s\n", argv[i]);
@@ -87,6 +201,11 @@ int main(int argc, char** argv) {
     if (!check_file(ss.str(), &err)) {
       std::fprintf(stderr, "json_check: %s: INVALID: %s\n", argv[i],
                    err.c_str());
+      ++failures;
+    } else if (!golden_text.empty() &&
+               !check_golden(golden_text, ss.str(), &err)) {
+      std::fprintf(stderr, "json_check: %s: DIVERGES from %s: %s\n", argv[i],
+                   golden_path.c_str(), err.c_str());
       ++failures;
     } else {
       std::printf("json_check: %s: ok\n", argv[i]);

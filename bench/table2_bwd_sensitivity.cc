@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   base.features = core::Features::optimized();
   base.deadline = hold + 5_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("bwd_sensitivity");
   sweep.base(base).axis("spinlock", kind_labels);

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   base.sockets = 2;
   base.deadline = 600_s;
   bench::apply_metrics(cli, &base);
+  bench::apply_sched(cli, &base);
 
   exp::Sweep sweep("bwd_specificity");
   sweep.base(base)

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "sched/policy.h"
+
 namespace eo::exp {
 
 namespace {
@@ -32,6 +34,16 @@ bool parse_uint_str(const std::string& s, std::uint64_t* out) {
   return true;
 }
 
+/// "cfs|fifo|rr|pcfs" from the policy registry, for messages.
+std::string policy_list() {
+  std::string out;
+  for (const auto& name : sched::policy_names()) {
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string Cli::usage(const CliSpec& spec) {
@@ -47,7 +59,9 @@ std::string Cli::usage(const CliSpec& spec) {
      << "  --filter=<substr>    run only cells whose id contains <substr>\n"
      << "  --list               print the cell ids and exit\n"
      << "  --seed=N             workload seed (default " << spec.default_seed
-     << ")\n";
+     << ")\n"
+     << "  --sched=<policy>     scheduler policy: " << policy_list()
+     << " (default cfs)\n";
   if (spec.supports_trace) {
     os << "  --trace=<path>       capture an event trace of one "
           "representative run\n"
@@ -109,6 +123,16 @@ bool Cli::parse_into(int argc, char** argv, const CliSpec& spec, Cli* out,
       if (!parse_uint_str(arg.substr(7), &out->seed)) {
         *err = "invalid --seed value '" + arg.substr(7) +
                "' (want a non-negative integer)";
+        return false;
+      }
+    } else if (arg.rfind("--sched=", 0) == 0) {
+      out->sched = arg.substr(8);
+      const auto& names = sched::policy_names();
+      bool known = false;
+      for (const auto& name : names) known = known || name == out->sched;
+      if (!known) {
+        *err = "--sched must be one of " + policy_list() + " (got '" +
+               out->sched + "')";
         return false;
       }
     } else if (spec.supports_trace && arg.rfind("--trace=", 0) == 0) {

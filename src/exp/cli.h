@@ -1,9 +1,10 @@
 // Uniform command line for the bench binaries.
 //
 //   <bench> [scale] [--json=<path>] [--jobs=N] [--filter=<substr>] [--list]
-//           [--seed=N] [--trace=<path>] [--trace-format=json|csv]
-//           [--trace-only] [--metrics[=<path>]] [--metrics-interval=<us>]
-//           [--metrics-format=json|csv|report] [--help]
+//           [--seed=N] [--sched=cfs|fifo|rr|pcfs] [--trace=<path>]
+//           [--trace-format=json|csv] [--trace-only] [--metrics[=<path>]]
+//           [--metrics-interval=<us>] [--metrics-format=json|csv|report]
+//           [--help]
 //
 // The positional `scale` multiplies the simulated work (rounds, requests);
 // it must be a plain positive number — `0.5x` or `abc` are errors, not
@@ -42,6 +43,9 @@ class Cli {
   std::string filter;
   /// Print the cell ids and exit without running.
   bool list = false;
+  /// Scheduler policy plugin for every simulated kernel the bench builds
+  /// (one of sched::policy_names()).
+  std::string sched = "cfs";
   std::string trace_path;  ///< empty = tracing off
   std::string trace_format = "json";
   bool trace_only = false;

@@ -41,14 +41,18 @@ Kernel::Kernel(KernelConfig cfg)
       }()),
       vb_policy_(&cfg_.features),
       bwd_(&cfg_.features),
-      balancer_(&cfg_.topo, &cfg_.cfs),
       watchdog_(&metric_registry_),
       sampler_(&engine_, cfg_.topo.n_cores()),
       rng_(cfg_.seed) {
   const int n = cfg_.topo.n_cores();
+  policy_ =
+      sched::make_policy(cfg_.policy, &cfg_.topo, &cfg_.cfs,
+                         &cfg_.policy_params);
+  EO_CHECK(policy_ != nullptr)
+      << "unknown scheduler policy '" << cfg_.policy << "'";
   cores_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    cores_.push_back(std::make_unique<Core>(i, &cfg_.cfs));
+    cores_.push_back(std::make_unique<Core>(i));
     cores_.back()->rng = rng_.split();
   }
   n_online_ = n;
@@ -58,7 +62,6 @@ Kernel::Kernel(KernelConfig cfg)
   bwd_.set_tracer(&tracer_);
   for (int i = 0; i < n; ++i) {
     Core& c = core(i);
-    c.rq.set_tracer(&tracer_);
     c.balance_timer.set_trace(&tracer_, i, sched::TimerId::kBalance);
     c.bwd_timer.set_trace(&tracer_, i, sched::TimerId::kBwd);
     // Stagger periodic timers so cores do not balance in lockstep.
@@ -112,12 +115,9 @@ void Kernel::start_task(Task* t, int cpu) {
   t->last_cpu = cpu;
   ++live_tasks_;
   Core& c = core(cpu);
-  // Start slightly behind the queue head so running tasks are not preempted
-  // by a thundering herd of spawns.
-  t->se.vruntime = c.rq.min_vruntime();
   EO_TRACE_EVENT(&tracer_, cpu, trace::EventKind::kTaskStart, t->tid,
                  static_cast<std::uint64_t>(cpu), 0);
-  c.rq.enqueue(&t->se, /*wakeup=*/false);
+  policy_->place_fresh(cpu, &t->se);
   if (c.current == nullptr) {
     kick(c);
   }
@@ -199,7 +199,7 @@ void Kernel::set_online_cores(int n) {
       c.busy_valid = false;
     }
     // Evict every queued entity to online cores, round-robin.
-    auto evicted = c.rq.detach_all();
+    auto evicted = policy_->detach_all(c.id);
     int rr = 0;
     for (sched::SchedEntity* se : evicted) {
       Task* t = task_of(se);
@@ -222,12 +222,12 @@ void Kernel::set_online_cores(int n) {
           cache_.migration_penalty(t->mem.working_set, cross) +
               cfg_.costs.migration_base);
       if (t->pinned && t->pin_cpu == c.id) pinned_violation_ = true;
-      se->vruntime = d.rq.min_vruntime();
       t->last_cpu = dst;
       EO_TRACE_EVENT(&tracer_, dst, trace::EventKind::kMigration, t->tid,
                      static_cast<std::uint64_t>(c.id),
                      static_cast<std::uint64_t>(dst));
-      d.rq.enqueue(se, /*wakeup=*/false);
+      // Rehome at the destination's fairness floor, like a fresh arrival.
+      policy_->place_fresh(dst, se);
       kick(d);
     }
   }
@@ -292,15 +292,16 @@ void Kernel::register_metrics() {
   // Counters register in subsystem order; registration order is the export
   // order, so keep it stable.
   stats_.register_metrics(&r);
-  // All runqueues share kernel-wide cells (one kernel, one host thread).
-  const obs::Counter rq_enq = r.counter("sched.rq.enqueues");
-  const obs::Counter rq_deq = r.counter("sched.rq.dequeues");
-  const obs::Counter rq_picks = r.counter("sched.rq.picks");
-  for (auto& c : cores_) {
-    c->rq.set_metrics(rq_enq, rq_deq, rq_picks);
-  }
-  balancer_.set_metrics(r.counter("sched.balance.attempts"),
-                        r.counter("sched.balance.pulls"));
+  // The policy's counters are kernel-wide cells (one kernel, one host
+  // thread), registered in one shot.
+  sched::ObsHooks hooks;
+  hooks.tracer = &tracer_;
+  hooks.rq_enqueues = r.counter("sched.rq.enqueues");
+  hooks.rq_dequeues = r.counter("sched.rq.dequeues");
+  hooks.rq_picks = r.counter("sched.rq.picks");
+  hooks.balance_attempts = r.counter("sched.balance.attempts");
+  hooks.balance_pulls = r.counter("sched.balance.pulls");
+  policy_->attach(hooks);
   futex_.set_metrics(r.counter("futex.bucket_locks"),
                      r.counter("futex.bucket_locks_contended"));
   epolls_.set_metrics(r.counter("epoll.instance_locks"),
@@ -314,7 +315,7 @@ void Kernel::register_metrics() {
   r.register_counter("bwd.truth_fp", &bwd_accuracy_.fp);
   r.register_counter("bwd.truth_fn", &bwd_accuracy_.fn);
   r.register_counter("bwd.truth_tn", &bwd_accuracy_.tn);
-  cfg_.cfs.register_metrics(&r);
+  policy_->export_tunables(&r);
   r.register_gauge("kern.live_tasks",
                    [this] { return static_cast<std::int64_t>(live_tasks_); });
   r.register_gauge("kern.online_cores",
@@ -327,10 +328,10 @@ void Kernel::collect_sample(obs::CoreSample* cores,
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     const Core& c = *cores_[i];
     obs::CoreSample& s = cores[i];
-    s.rq_depth = c.rq.nr_running();
-    s.schedulable = c.rq.nr_schedulable();
-    s.vb_parked = c.rq.nr_vb_blocked();
-    s.bwd_skipped = c.rq.count_bwd_skipped();
+    s.rq_depth = policy_->nr_running(c.id);
+    s.schedulable = policy_->nr_schedulable(c.id);
+    s.vb_parked = policy_->nr_vb_blocked(c.id);
+    s.bwd_skipped = policy_->nr_bwd_skipped(c.id);
     s.running = c.current != nullptr ? 1 : 0;
     s.online = c.online ? 1 : 0;
   }
@@ -436,7 +437,7 @@ void Kernel::account_tick(Core& c) {
   EO_CHECK(t != nullptr);
   SimDuration ran = now() - t->se.exec_start;
   if (ran < 0) ran = 0;
-  c.rq.account_curr(ran + t->overhead);
+  policy_->account(c.id, ran + t->overhead);
   t->overhead = 0;
   t->stats.cpu_time += ran;
   t->se.exec_start = now();
@@ -459,7 +460,7 @@ double Kernel::execution_speed(const Core& c) const {
 }
 
 SimDuration Kernel::slice_left(Core& c, Task* t) const {
-  const SimDuration slice = c.rq.slice_for(&t->se);
+  const SimDuration slice = policy_->slice_for(c.id, &t->se);
   return slice - (now() - t->se.exec_start);
 }
 
@@ -484,10 +485,10 @@ void Kernel::schedule(Core& c) {
   }
   c.need_resched = false;
 
-  sched::SchedEntity* se = c.rq.pick_next();
+  sched::SchedEntity* se = policy_->pick_next(c.id);
   if (se == nullptr) {
     // Newly idle: try to pull work before idling.
-    if (try_balance(c, /*newly_idle=*/true)) se = c.rq.pick_next();
+    if (try_balance(c, /*newly_idle=*/true)) se = policy_->pick_next(c.id);
   }
   if (se == nullptr) {
     if (c.busy_valid) {
@@ -546,7 +547,8 @@ void Kernel::begin_current(Core& c) {
   Task* t = c.current;
   EO_CHECK(t != nullptr);
 
-  if (c.need_resched && c.rq.nr_schedulable() > 0 && !t->se.vb_blocked) {
+  if (c.need_resched && policy_->nr_schedulable(c.id) > 0 &&
+      !t->se.vb_blocked) {
     // A better candidate woke during the switch; go around again.
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
     schedule(c);
@@ -686,13 +688,13 @@ void Kernel::setup_compute(Core& c, Task* t, ComputeAction& a) {
   }
   SimDuration sl = slice_left(c, t);
   if (sl <= 0) {
-    if (c.rq.nr_schedulable() > 0) {
+    if (policy_->nr_schedulable(c.id) > 0) {
       deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
       schedule(c);
       return;
     }
     account_tick(c);  // renew the slice in place
-    sl = c.rq.slice_for(&t->se);
+    sl = policy_->slice_for(c.id, &t->se);
   }
   const double speed = execution_speed(c);
   const auto need = static_cast<SimDuration>(
@@ -721,7 +723,7 @@ void Kernel::compute_event(Core& c) {
     return;
   }
   // Slice expired mid-compute.
-  if (c.rq.nr_schedulable() > 0) {
+  if (policy_->nr_schedulable(c.id) > 0) {
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
     schedule(c);
   } else {
@@ -742,13 +744,13 @@ void Kernel::setup_spin(Core& c, Task* t, SpinUntilAction& a) {
   }
   SimDuration sl = slice_left(c, t);
   if (sl <= 0) {
-    if (c.rq.nr_schedulable() > 0) {
+    if (policy_->nr_schedulable(c.id) > 0) {
       deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
       schedule(c);
       return;
     }
     account_tick(c);
-    sl = c.rq.slice_for(&t->se);
+    sl = policy_->slice_for(c.id, &t->se);
   }
   if (a.deadline >= 0) sl = std::min(sl, a.deadline - now());
   set_segment(c, hw::SegmentKind::kSpin, a.site, a.uses_pause);
@@ -782,13 +784,13 @@ void Kernel::spin_slice_event(Core& c) {
     resume_step(c, t);
     return;
   }
-  if (c.rq.nr_schedulable() > 0) {
+  if (policy_->nr_schedulable(c.id) > 0) {
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
     schedule(c);
   } else {
     // Alone on the queue: keep spinning with a renewed slice.
     account_tick(c);
-    SimDuration next = c.rq.slice_for(&t->se);
+    SimDuration next = policy_->slice_for(c.id, &t->se);
     if (a->deadline >= 0) next = std::min(next, a->deadline - now());
     if (next < 1) next = 1;
     c.run_event = engine_.schedule_after(next,
@@ -871,11 +873,11 @@ void Kernel::deschedule_current(Core& c, bool requeue, bool voluntary) {
   EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kSwitchOut, t->tid,
                  static_cast<std::uint64_t>(t->se.vruntime),
                  voluntary ? 1u : 0u);
-  c.rq.put_prev(&t->se);
+  policy_->put_prev(c.id, &t->se);
   if (requeue) {
     t->state = TaskState::kRunnable;
   } else {
-    c.rq.dequeue(&t->se);
+    policy_->dequeue(c.id, &t->se);
   }
   c.current = nullptr;
   if (c.preempt_event != sim::kInvalidEvent) {
@@ -919,7 +921,7 @@ void Kernel::maybe_preempt(Core& c, const sched::SchedEntity* wakee) {
     if (!c.in_switch) kick(c);
     return;
   }
-  if (!c.rq.should_preempt(wakee)) return;
+  if (!policy_->should_preempt(c.id, wakee)) return;
   if (c.current->in_kernel || c.in_switch) {
     c.need_resched = true;
     return;
@@ -1013,7 +1015,7 @@ bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
     ++t->stats.vb_parks;
     t->overhead += cost + cfg_.costs.vb_park;
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
-    c.rq.vb_park(&t->se);
+    policy_->vb_park(c.id, &t->se);
   } else {
     ++stats_.futex_sleeps;
     if (!vb && cfg_.features.vb_futex) ++stats_.vb_fallback_vanilla;
@@ -1120,7 +1122,7 @@ void Kernel::wake_chain_step(WakeChain* chain) {
   EO_CHECK_GE(w->se.cpu, 0);
   Core& c = core(w->se.cpu);
   EO_CHECK_EQ(c.current, w);
-  if (c.need_resched && c.rq.nr_schedulable() > 0) {
+  if (c.need_resched && policy_->nr_schedulable(c.id) > 0) {
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
     schedule(c);
     return;
@@ -1133,7 +1135,7 @@ int Kernel::select_wake_cpu(Task* t) {
   if (t->pinned && core(t->pin_cpu).online) return t->pin_cpu;
   int prev = t->last_cpu;
   if (prev < 0 || !core(prev).online) prev = -1;
-  if (prev >= 0 && core(prev).rq.nr_schedulable() == 0 &&
+  if (prev >= 0 && policy_->nr_schedulable(prev) == 0 &&
       core(prev).current == nullptr) {
     return prev;  // wake-affine fast path: previous core is idle
   }
@@ -1144,7 +1146,7 @@ int Kernel::select_wake_cpu(Task* t) {
   for (int i = 0; i < n_cores(); ++i) {
     Core& ci = core(i);
     if (!ci.online) continue;
-    int load = ci.rq.nr_running() + (ci.current != nullptr ? 0 : -1);
+    int load = policy_->nr_running(i) + (ci.current != nullptr ? 0 : -1);
     // Prefer same socket on ties by biasing other-socket loads up.
     if (prev_socket >= 0 && cfg_.topo.socket_of(i) != prev_socket) load += 1;
     if (i == prev) load -= 1;  // mild wake-affinity
@@ -1187,7 +1189,7 @@ SimDuration Kernel::wake_task_vanilla(Task* t) {
   t->runnable_since = now();
   EO_TRACE_EVENT(&tracer_, cpu, trace::EventKind::kWakeup, t->tid,
                  static_cast<std::uint64_t>(cpu), 0);
-  tc.rq.enqueue(&t->se, /*wakeup=*/true);
+  policy_->enqueue(cpu, &t->se, /*wakeup=*/true);
   maybe_preempt(tc, &t->se);
   return cost;
 }
@@ -1208,9 +1210,9 @@ SimDuration Kernel::wake_task_vb(Task* t) {
                  static_cast<std::uint64_t>(t->se.cpu), 1);
   if (tc.current == t) {
     // Mid flag-check quantum: clear in place; the quantum event resumes it.
-    tc.rq.vb_clear_current(&t->se);
+    policy_->vb_clear_current(tc.id, &t->se);
   } else {
-    tc.rq.vb_unpark(&t->se);
+    policy_->vb_unpark(tc.id, &t->se);
     t->state = TaskState::kRunnable;
     maybe_preempt(tc, &t->se);
   }
@@ -1248,7 +1250,7 @@ bool Kernel::handle_epoll_wait(Core& c, Task* t, const EpollWaitAction& a) {
     ++t->stats.vb_parks;
     t->overhead += cost + cfg_.costs.vb_park;
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
-    c.rq.vb_park(&t->se);
+    policy_->vb_park(c.id, &t->se);
   } else {
     ++stats_.futex_sleeps;
     t->overhead += cost + cfg_.costs.futex_wait_setup;
@@ -1354,13 +1356,13 @@ void Kernel::bwd_timer_fire(Core& c) {
     ++stats_.bwd_detections;
     Task* t = c.current;
     if (t != nullptr && !t->in_kernel && !c.in_switch &&
-        c.rq.nr_schedulable() > 0) {
+        policy_->nr_schedulable(c.id) > 0) {
       ++stats_.bwd_descheduled;
       ++t->stats.bwd_descheduled;
       EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kBwdDesched, t->tid,
                      verdict.ground_truth_spin ? 1u : 0u, 0);
       deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
-      c.rq.bwd_mark_skip(&t->se);
+      policy_->bwd_mark_skip(c.id, &t->se);
       schedule(c);
     }
   }
@@ -1382,24 +1384,17 @@ void Kernel::balance_timer_fire(Core& c) {
 
 bool Kernel::try_balance(Core& c, bool newly_idle) {
   if (!c.online) return false;
-  if (balance_rqs_.size() != cores_.size()) {
-    balance_rqs_.clear();
-    balance_rqs_.reserve(cores_.size());
-    for (auto& cp : cores_) balance_rqs_.push_back(&cp->rq);
-  }
-  const auto d = balancer_.find_pull(
-      c.id, balance_rqs_, [this](int i) { return core(i).online; },
-      newly_idle);
+  const auto d = policy_->balance(
+      c.id, [this](int i) { return core(i).online; }, newly_idle);
   if (!d) return false;
   apply_migration(*d);
   return true;
 }
 
 void Kernel::apply_migration(const sched::BalanceDecision& d) {
-  Core& src = core(d.src_cpu);
   Core& dst = core(d.dst_cpu);
   Task* t = task_of(d.victim);
-  src.rq.dequeue(d.victim);
+  policy_->dequeue(d.src_cpu, d.victim);
   (d.cross_socket ? stats_.migrations_cross_node
                   : stats_.migrations_in_node)++;
   ++t->stats.migrations;
@@ -1407,14 +1402,12 @@ void Kernel::apply_migration(const sched::BalanceDecision& d) {
       t->resume_penalty,
       cache_.migration_penalty(t->mem.working_set, d.cross_socket) +
           cfg_.costs.migration_base);
-  // Translate vruntime into the destination queue's window.
-  d.victim->vruntime = d.victim->vruntime - src.rq.min_vruntime() +
-                       dst.rq.min_vruntime();
   t->last_cpu = d.dst_cpu;
   EO_TRACE_EVENT(&tracer_, d.dst_cpu, trace::EventKind::kMigration, t->tid,
                  static_cast<std::uint64_t>(d.src_cpu),
                  static_cast<std::uint64_t>(d.dst_cpu));
-  dst.rq.enqueue(d.victim, /*wakeup=*/false);
+  // Translate the victim into the destination queue's fairness window.
+  policy_->place_migrated(d.src_cpu, d.dst_cpu, d.victim);
   kick(dst);
 }
 

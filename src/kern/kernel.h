@@ -1,6 +1,7 @@
 // The simulated OS kernel.
 //
-// Owns the event engine, cores and their CFS runqueues, the futex and epoll
+// Owns the event engine, the cores and their scheduler policy (a pluggable
+// sched::SchedPolicy; CFS is the default plugin), the futex and epoll
 // subsystems, the per-core hardware monitoring state (LBR/PMC), and the
 // paper's two mechanisms (virtual blocking and busy-waiting detection). It
 // interprets the Actions issued by task coroutines, advancing simulated time
@@ -38,8 +39,7 @@
 #include "obs/watchdog.h"
 #include "sched/cfs.h"
 #include "sched/hrtimer.h"
-#include "sched/load_balancer.h"
-#include "sched/runqueue.h"
+#include "sched/policy.h"
 #include "sched/sched_stats.h"
 #include "sim/engine.h"
 #include "trace/trace.h"
@@ -49,6 +49,11 @@ namespace eo::kern {
 struct KernelConfig {
   hw::Topology topo = hw::Topology::make_cores(8, 1);
   sched::CfsParams cfs;
+  /// Scheduler policy plugin: one of sched::policy_names() ("cfs", "fifo",
+  /// "rr", "pcfs"); see src/sched/README.md.
+  std::string policy = "cfs";
+  /// Tunables for the non-CFS policies (ignored by "cfs").
+  sched::PolicyParams policy_params;
   core::Features features;
   core::CostModel costs;
   hw::CacheParams cache;
@@ -125,6 +130,10 @@ class Kernel {
   /// offlined cores (models runtime CPU re-provisioning of a container).
   void set_online_cores(int n);
 
+  // --- scheduling policy ---
+  sched::SchedPolicy& policy() { return *policy_; }
+  const sched::SchedPolicy& policy() const { return *policy_; }
+
   // --- tracing ---
   trace::Tracer& tracer() { return tracer_; }
   const trace::Tracer& tracer() const { return tracer_; }
@@ -161,12 +170,10 @@ class Kernel {
 
  private:
   struct Core {
-    explicit Core(int id_in, const sched::CfsParams* cfs)
-        : id(id_in), rq(id_in, cfs) {}
+    explicit Core(int id_in) : id(id_in) {}
 
     int id;
     bool online = true;
-    sched::Runqueue rq;
     KLock rq_lock;
     Task* current = nullptr;
 
@@ -305,7 +312,9 @@ class Kernel {
   hw::PleModel ple_;
   core::VbPolicy vb_policy_;
   core::BwdDetector bwd_;
-  sched::LoadBalancer balancer_;
+  /// The pluggable scheduler (built from cfg_.policy); owns every per-core
+  /// queue and all scheduling decisions. The kernel applies the mechanism.
+  std::unique_ptr<sched::SchedPolicy> policy_;
   futex::FutexTable futex_;
   epollsim::EpollTable epolls_;
 
@@ -314,9 +323,6 @@ class Kernel {
   std::vector<WakeChain*> chain_free_;
 
   std::vector<std::unique_ptr<Core>> cores_;
-  /// Runqueue views handed to the balancer, built once — try_balance runs on
-  /// every newly-idle pick and balance tick, so it must not allocate.
-  std::vector<sched::Runqueue*> balance_rqs_;
   int n_online_ = 0;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::deque<SimWord> words_;

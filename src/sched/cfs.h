@@ -6,7 +6,6 @@
 #pragma once
 
 #include "common/units.h"
-#include "obs/metrics.h"
 
 namespace eo::sched {
 
@@ -26,23 +25,9 @@ struct CfsParams {
   SimDuration balance_interval = 4_ms;
   /// Imbalance (in runnable tasks) required before pulling.
   int balance_imbalance = 2;
-
-  /// Registers the effective tunables as gauges (the /proc/sys/kernel
-  /// sched_* analogue), so an exported metrics document records which
-  /// scheduler configuration produced it. `this` must outlive the registry.
-  void register_metrics(obs::MetricRegistry* reg) const {
-    reg->register_gauge("cfs.sched_latency_ns",
-                        [this] { return sched_latency; });
-    reg->register_gauge("cfs.min_granularity_ns",
-                        [this] { return min_granularity; });
-    reg->register_gauge("cfs.wakeup_granularity_ns",
-                        [this] { return wakeup_granularity; });
-    reg->register_gauge("cfs.balance_interval_ns",
-                        [this] { return balance_interval; });
-    reg->register_gauge("cfs.balance_imbalance", [this] {
-      return static_cast<std::int64_t>(balance_imbalance);
-    });
-  }
 };
+// The effective tunables are exported as gauges (the /proc/sys/kernel
+// sched_* analogue) by each policy's SchedPolicy::export_tunables, under a
+// "sched.<policy>." prefix.
 
 }  // namespace eo::sched

@@ -20,26 +20,21 @@
 #include "hw/topology.h"
 #include "obs/metrics.h"
 #include "sched/cfs.h"
+#include "sched/policy.h"
 #include "sched/runqueue.h"
 
 namespace eo::sched {
-
-struct BalanceDecision {
-  int src_cpu = -1;
-  int dst_cpu = -1;
-  SchedEntity* victim = nullptr;
-  bool cross_socket = false;
-};
 
 class LoadBalancer {
  public:
   LoadBalancer(const hw::Topology* topo, const CfsParams* params)
       : topo_(topo), params_(params) {}
 
-  /// Wires the metric counters: balance attempts and decided pulls.
-  void set_metrics(obs::Counter attempts, obs::Counter pulls) {
-    m_attempts_ = attempts;
-    m_pulls_ = pulls;
+  /// Wires the metric counters (balance attempts and decided pulls) from
+  /// the policy's registration hooks.
+  void attach(const ObsHooks& hooks) {
+    m_attempts_ = hooks.balance_attempts;
+    m_pulls_ = hooks.balance_pulls;
   }
 
   /// Finds a task to pull to `dst_cpu`. `rqs[i]` is core i's runqueue;

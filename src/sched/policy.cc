@@ -1,0 +1,31 @@
+#include "sched/policy.h"
+
+#include "sched/policy_zoo.h"
+
+namespace eo::sched {
+
+std::unique_ptr<SchedPolicy> make_policy(const std::string& name,
+                                         const hw::Topology* topo,
+                                         const CfsParams* cfs,
+                                         const PolicyParams* params) {
+  if (name == "cfs") {
+    return std::make_unique<CfsPolicy>(topo, cfs, params);
+  }
+  if (name == "fifo") {
+    return std::make_unique<FifoPolicy>(topo, cfs, params);
+  }
+  if (name == "rr") {
+    return std::make_unique<RoundRobinPolicy>(topo, cfs, params);
+  }
+  if (name == "pcfs") {
+    return std::make_unique<PredictiveCfsPolicy>(topo, cfs, params);
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> kNames = {"cfs", "fifo", "rr", "pcfs"};
+  return kNames;
+}
+
+}  // namespace eo::sched

@@ -1,0 +1,178 @@
+// The pluggable scheduler-policy boundary between src/kern and src/sched.
+//
+// The kernel owns the *mechanism* of scheduling (events, context-switch
+// costs, wake chains, timers); a SchedPolicy owns every *decision*: who runs
+// next, for how long, whether a wakeup preempts, and what to pull when
+// balancing. CFS is just the reference plugin (see policy_zoo.h); FIFO,
+// round-robin, and a predictive variant plug into the same interface.
+//
+// Every policy must uphold the paper's two mechanism contracts:
+//
+//  * VB-park: a VB-blocked entity stays on the queue (load stays stable) but
+//    sorts behind all schedulable work; pick_next reaches it only when
+//    nothing else is runnable, and then the kernel gives it only a brief
+//    flag-check quantum. vb_unpark must make the entity promptly
+//    schedulable again.
+//  * BWD-skip: an entity marked by busy-waiting detection is passed over by
+//    pick_next until the rest of the queue has had a turn (or everyone is
+//    skipped, which vacuously completes the round). A policy may not starve
+//    a skipped entity forever.
+//
+// See src/sched/README.md for the full contract and a walkthrough of writing
+// a new policy.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/function_ref.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "sched/entity.h"
+
+namespace eo::hw {
+class Topology;
+}
+namespace eo::trace {
+class Tracer;
+}
+
+namespace eo::sched {
+
+struct CfsParams;
+
+/// Everything a policy may report into, handed over in one registration call
+/// (SchedPolicy::attach) instead of per-subsystem setter pairs. All counters
+/// are kernel-wide cells (one kernel is single-host-threaded, so plain adds
+/// are safe); any member may be left default/null.
+struct ObsHooks {
+  trace::Tracer* tracer = nullptr;
+  obs::Counter rq_enqueues;
+  obs::Counter rq_dequeues;
+  obs::Counter rq_picks;
+  obs::Counter balance_attempts;
+  obs::Counter balance_pulls;
+};
+
+/// Tunables for the non-CFS members of the policy zoo. Kept separate from
+/// CfsParams so the CFS knobs stay exactly the paper's characterization.
+struct PolicyParams {
+  /// Round-robin: fixed quantum every entity runs before rotating to the
+  /// queue tail.
+  SimDuration rr_quantum = 1_ms;
+  /// FIFO: run-to-block discipline; this (long) slice only bounds how long a
+  /// CPU-bound entity can hold a core before the kernel re-evaluates.
+  SimDuration fifo_slice = 100_ms;
+  /// PredictiveCfs: picks remembered per core for the transition history.
+  int predict_history = 8;
+  /// PredictiveCfs: a predicted entity may win the tie-break only while its
+  /// vruntime is within this window of the fair (CFS) choice.
+  SimDuration predict_tie_window = 500_us;
+};
+
+/// What a balance pass decided to migrate. The policy decides; the kernel
+/// applies the mechanism (dequeue/enqueue via place_migrated, penalties,
+/// stats).
+struct BalanceDecision {
+  int src_cpu = -1;
+  int dst_cpu = -1;
+  SchedEntity* victim = nullptr;
+  bool cross_socket = false;
+};
+
+/// Abstract per-kernel scheduling policy. All calls are made from the
+/// kernel's single host thread; `cpu` always names one of the kernel's
+/// cores. Entities are owned by the kernel's tasks and outlive the policy's
+/// references to them.
+class SchedPolicy {
+ public:
+  virtual ~SchedPolicy() = default;
+
+  /// Stable registry name ("cfs", "fifo", ...); also the --sched= spelling.
+  virtual const char* name() const = 0;
+
+  // --- observability registration ---
+  /// Wires tracing and metric counters in one shot (kernel boot).
+  virtual void attach(const ObsHooks& hooks) = 0;
+  /// Registers the policy's effective tunables as gauges under a
+  /// "sched.<name>." prefix, so an exported metrics document records which
+  /// scheduler configuration produced it. `this` must outlive `reg`.
+  virtual void export_tunables(obs::MetricRegistry* reg) const = 0;
+
+  // --- per-core queue operations ---
+  /// Adds a runnable entity. `wakeup` requests wake placement (whatever that
+  /// means for the policy); a VB-blocked entity must instead be parked at
+  /// the tail per the VB contract.
+  virtual void enqueue(int cpu, SchedEntity* se, bool wakeup) = 0;
+  /// Removes an entity (must not be the running one; put_prev it first).
+  /// Must tear down any BWD skip state the entity carries — round
+  /// bookkeeping may not keep counting a departed entity.
+  virtual void dequeue(int cpu, SchedEntity* se) = 0;
+  /// Chooses the next entity and makes it current. May return a VB-blocked
+  /// entity only when nothing else is schedulable (flag-check quantum).
+  virtual SchedEntity* pick_next(int cpu) = 0;
+  /// Returns the previously running entity to the queue (still runnable).
+  virtual void put_prev(int cpu, SchedEntity* se) = 0;
+  /// Accounts `delta_exec` of execution to the running entity.
+  virtual void account(int cpu, SimDuration delta_exec) = 0;
+  /// Time slice for an entity on `cpu`'s queue.
+  virtual SimDuration slice_for(int cpu, const SchedEntity* se) const = 0;
+  /// Should `wakee` preempt the entity currently running on `cpu`? Must
+  /// return true when the core runs a VB flag-check quantum (real work
+  /// always beats flag polling).
+  virtual bool should_preempt(int cpu, const SchedEntity* wakee) const = 0;
+
+  // --- placement ---
+  /// Places a fresh (or evicted-and-rehomed) entity on `cpu`: joins the
+  /// queue's fairness window without preempting incumbents.
+  virtual void place_fresh(int cpu, SchedEntity* se) = 0;
+  /// Moves a balance victim (already dequeued from `src_cpu`) onto
+  /// `dst_cpu`, translating its position between the queues' windows.
+  virtual void place_migrated(int src_cpu, int dst_cpu, SchedEntity* se) = 0;
+
+  // --- VB / BWD mechanism hooks ---
+  /// Parks a queued (not current) entity as VB-blocked at the queue tail.
+  virtual void vb_park(int cpu, SchedEntity* se) = 0;
+  /// Clears VB state of a queued entity and makes it promptly schedulable.
+  virtual void vb_unpark(int cpu, SchedEntity* se) = 0;
+  /// Clears VB state of the *currently running* entity (woken mid
+  /// flag-check quantum).
+  virtual void vb_clear_current(int cpu, SchedEntity* se) = 0;
+  /// Marks a queued (not current) entity as BWD-skipped for one round.
+  virtual void bwd_mark_skip(int cpu, SchedEntity* se) = 0;
+
+  // --- introspection (sampler / watchdog / wake placement) ---
+  /// Runnable entities incl. the running one and VB-parked ones.
+  virtual int nr_running(int cpu) const = 0;
+  /// Entities genuinely schedulable (not VB-blocked).
+  virtual int nr_schedulable(int cpu) const = 0;
+  virtual int nr_vb_blocked(int cpu) const = 0;
+  /// Queued entities currently carrying a BWD skip flag.
+  virtual int nr_bwd_skipped(int cpu) const = 0;
+
+  // --- balancing / elasticity ---
+  /// Decides a pull toward `dst_cpu` (periodic or newly-idle balancing).
+  /// `online(i)` says whether core i participates. Returns nullopt when
+  /// balanced. The kernel applies the returned decision.
+  virtual std::optional<BalanceDecision> balance(int dst_cpu,
+                                                FunctionRef<bool(int)> online,
+                                                bool newly_idle) = 0;
+  /// Removes every entity from `cpu`'s queue (core offlining) and returns
+  /// them; the kernel re-places them on surviving cores.
+  virtual std::vector<SchedEntity*> detach_all(int cpu) = 0;
+};
+
+/// Builds a policy by registry name for a machine of `topo`'s size; returns
+/// nullptr for an unknown name. `topo`, `cfs`, and `params` must outlive the
+/// policy.
+std::unique_ptr<SchedPolicy> make_policy(const std::string& name,
+                                         const hw::Topology* topo,
+                                         const CfsParams* cfs,
+                                         const PolicyParams* params);
+
+/// Registry names accepted by make_policy, in presentation order.
+const std::vector<std::string>& policy_names();
+
+}  // namespace eo::sched

@@ -1,0 +1,270 @@
+#include "sched/policy_zoo.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "hw/topology.h"
+
+namespace eo::sched {
+
+// ---------------------------------------------------------------------------
+// QueueBasedPolicy: the shared engine
+// ---------------------------------------------------------------------------
+
+QueueBasedPolicy::QueueBasedPolicy(const hw::Topology* topo,
+                                   const CfsParams* cfs,
+                                   const PolicyParams* params,
+                                   QueueTuning tuning)
+    : cfs_(cfs),
+      params_(params),
+      tuning_(tuning),
+      balancer_(topo, cfs) {
+  const int n = topo->n_cores();
+  rq_views_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rqs_.emplace_back(i, cfs_, &tuning_);
+    rq_views_.push_back(&rqs_.back());
+  }
+}
+
+void QueueBasedPolicy::attach(const ObsHooks& hooks) {
+  for (Runqueue& q : rqs_) q.attach(hooks);
+  balancer_.attach(hooks);
+}
+
+void QueueBasedPolicy::enqueue(int cpu, SchedEntity* se, bool wakeup) {
+  rq(cpu).enqueue(se, wakeup);
+}
+
+void QueueBasedPolicy::dequeue(int cpu, SchedEntity* se) {
+  rq(cpu).dequeue(se);
+}
+
+SchedEntity* QueueBasedPolicy::pick_next(int cpu) {
+  SchedEntity* se = rq(cpu).pick_next();
+  if (se != nullptr) on_picked(cpu, se);
+  return se;
+}
+
+void QueueBasedPolicy::put_prev(int cpu, SchedEntity* se) {
+  rq(cpu).put_prev(se);
+}
+
+void QueueBasedPolicy::account(int cpu, SimDuration delta_exec) {
+  rq(cpu).account_curr(delta_exec);
+}
+
+SimDuration QueueBasedPolicy::slice_for(int cpu,
+                                        const SchedEntity* se) const {
+  return rq(cpu).slice_for(se);
+}
+
+bool QueueBasedPolicy::should_preempt(int cpu,
+                                      const SchedEntity* wakee) const {
+  return rq(cpu).should_preempt(wakee);
+}
+
+void QueueBasedPolicy::place_fresh(int cpu, SchedEntity* se) {
+  // Join at the queue's fairness floor: starts slightly behind the head so
+  // running tasks are not preempted by a thundering herd of spawns. Under
+  // arrival keys the enqueue assigns the tail key itself.
+  se->vruntime = rq(cpu).min_vruntime();
+  rq(cpu).enqueue(se, /*wakeup=*/false);
+}
+
+void QueueBasedPolicy::place_migrated(int src_cpu, int dst_cpu,
+                                      SchedEntity* se) {
+  // Translate the key into the destination queue's window (a no-op position
+  // under arrival keys, where enqueue re-keys at the tail).
+  se->vruntime =
+      se->vruntime - rq(src_cpu).min_vruntime() + rq(dst_cpu).min_vruntime();
+  rq(dst_cpu).enqueue(se, /*wakeup=*/false);
+}
+
+void QueueBasedPolicy::vb_park(int cpu, SchedEntity* se) {
+  rq(cpu).vb_park(se);
+}
+
+void QueueBasedPolicy::vb_unpark(int cpu, SchedEntity* se) {
+  rq(cpu).vb_unpark(se);
+}
+
+void QueueBasedPolicy::vb_clear_current(int cpu, SchedEntity* se) {
+  rq(cpu).vb_clear_current(se);
+}
+
+void QueueBasedPolicy::bwd_mark_skip(int cpu, SchedEntity* se) {
+  rq(cpu).bwd_mark_skip(se);
+}
+
+int QueueBasedPolicy::nr_running(int cpu) const {
+  return rq(cpu).nr_running();
+}
+
+int QueueBasedPolicy::nr_schedulable(int cpu) const {
+  return rq(cpu).nr_schedulable();
+}
+
+int QueueBasedPolicy::nr_vb_blocked(int cpu) const {
+  return rq(cpu).nr_vb_blocked();
+}
+
+int QueueBasedPolicy::nr_bwd_skipped(int cpu) const {
+  return rq(cpu).count_bwd_skipped();
+}
+
+std::optional<BalanceDecision> QueueBasedPolicy::balance(
+    int dst_cpu, FunctionRef<bool(int)> online, bool newly_idle) {
+  return balancer_.find_pull(dst_cpu, rq_views_, online, newly_idle);
+}
+
+std::vector<SchedEntity*> QueueBasedPolicy::detach_all(int cpu) {
+  return rq(cpu).detach_all();
+}
+
+std::string QueueBasedPolicy::tunable_prefix() const {
+  return std::string("sched.") + name() + ".";
+}
+
+void QueueBasedPolicy::export_balance_tunables(
+    const std::string& prefix, obs::MetricRegistry* reg) const {
+  reg->register_gauge(prefix + "balance_interval_ns",
+                      [this] { return cfs_->balance_interval; });
+  reg->register_gauge(prefix + "balance_imbalance", [this] {
+    return static_cast<std::int64_t>(cfs_->balance_imbalance);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CfsPolicy
+// ---------------------------------------------------------------------------
+
+void CfsPolicy::export_tunables(obs::MetricRegistry* reg) const {
+  const std::string p = tunable_prefix();
+  reg->register_gauge(p + "sched_latency_ns",
+                      [this] { return cfs_->sched_latency; });
+  reg->register_gauge(p + "min_granularity_ns",
+                      [this] { return cfs_->min_granularity; });
+  reg->register_gauge(p + "wakeup_granularity_ns",
+                      [this] { return cfs_->wakeup_granularity; });
+  export_balance_tunables(p, reg);
+}
+
+// ---------------------------------------------------------------------------
+// FifoPolicy
+// ---------------------------------------------------------------------------
+
+namespace {
+
+QueueTuning fifo_tuning(const PolicyParams* p) {
+  QueueTuning t;
+  t.arrival_keys = true;
+  t.wakeup_preempt = false;
+  t.fixed_quantum = p->fifo_slice;
+  return t;
+}
+
+QueueTuning rr_tuning(const PolicyParams* p) {
+  QueueTuning t;
+  t.arrival_keys = true;
+  t.requeue_tail = true;
+  t.wakeup_preempt = false;
+  t.fixed_quantum = p->rr_quantum;
+  return t;
+}
+
+}  // namespace
+
+FifoPolicy::FifoPolicy(const hw::Topology* topo, const CfsParams* cfs,
+                       const PolicyParams* params)
+    : QueueBasedPolicy(topo, cfs, params, fifo_tuning(params)) {}
+
+void FifoPolicy::export_tunables(obs::MetricRegistry* reg) const {
+  const std::string p = tunable_prefix();
+  reg->register_gauge(p + "slice_ns", [this] { return params_->fifo_slice; });
+  export_balance_tunables(p, reg);
+}
+
+// ---------------------------------------------------------------------------
+// RoundRobinPolicy
+// ---------------------------------------------------------------------------
+
+RoundRobinPolicy::RoundRobinPolicy(const hw::Topology* topo,
+                                   const CfsParams* cfs,
+                                   const PolicyParams* params)
+    : QueueBasedPolicy(topo, cfs, params, rr_tuning(params)) {}
+
+void RoundRobinPolicy::export_tunables(obs::MetricRegistry* reg) const {
+  const std::string p = tunable_prefix();
+  reg->register_gauge(p + "quantum_ns", [this] { return params_->rr_quantum; });
+  export_balance_tunables(p, reg);
+}
+
+// ---------------------------------------------------------------------------
+// PredictiveCfsPolicy
+// ---------------------------------------------------------------------------
+
+PredictiveCfsPolicy::PredictiveCfsPolicy(const hw::Topology* topo,
+                                         const CfsParams* cfs,
+                                         const PolicyParams* params)
+    : QueueBasedPolicy(topo, cfs, params, QueueTuning{}),
+      hist_(static_cast<std::size_t>(topo->n_cores())) {
+  for (int i = 0; i < topo->n_cores(); ++i) rq(i).set_pick_bias(this);
+}
+
+void PredictiveCfsPolicy::on_picked(int cpu, SchedEntity* se) {
+  History& h = hist_[static_cast<std::size_t>(cpu)];
+  h.picks.push_back(se->tid);
+  const auto cap = static_cast<std::size_t>(std::max(2, params_->predict_history));
+  if (h.picks.size() > cap) h.picks.erase(h.picks.begin());
+}
+
+int PredictiveCfsPolicy::transition_score(const History& h,
+                                          std::int32_t cand) const {
+  // Count how often `cand` followed the most recent pick in the window.
+  const std::int32_t last = h.picks.back();
+  int score = 0;
+  for (std::size_t i = 0; i + 1 < h.picks.size(); ++i) {
+    if (h.picks[i] == last && h.picks[i + 1] == cand) ++score;
+  }
+  return score;
+}
+
+SchedEntity* PredictiveCfsPolicy::choose(const Runqueue& rq,
+                                         SchedEntity* fair) {
+  const History& h = hist_[static_cast<std::size_t>(rq.cpu())];
+  if (h.picks.size() < 2) return fair;  // nothing learned yet
+  const std::int64_t limit = fair->vruntime + params_->predict_tie_window;
+  SchedEntity* best = fair;
+  int best_score = transition_score(h, fair->tid);
+  // Entities are scanned in key order from the fair choice, so ties resolve
+  // to the leftmost (the fairest) — deterministic by construction.
+  for (SchedEntity* e = rq.next_queued(fair);
+       e != nullptr && e->vruntime <= limit; e = rq.next_queued(e)) {
+    if (e->vb_blocked || e->bwd_skip) continue;  // uphold VB/BWD contracts
+    const int s = transition_score(h, e->tid);
+    if (s > best_score) {
+      best = e;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+void PredictiveCfsPolicy::export_tunables(obs::MetricRegistry* reg) const {
+  const std::string p = tunable_prefix();
+  reg->register_gauge(p + "sched_latency_ns",
+                      [this] { return cfs_->sched_latency; });
+  reg->register_gauge(p + "min_granularity_ns",
+                      [this] { return cfs_->min_granularity; });
+  reg->register_gauge(p + "wakeup_granularity_ns",
+                      [this] { return cfs_->wakeup_granularity; });
+  reg->register_gauge(p + "history", [this] {
+    return static_cast<std::int64_t>(params_->predict_history);
+  });
+  reg->register_gauge(p + "tie_window_ns",
+                      [this] { return params_->predict_tie_window; });
+  export_balance_tunables(p, reg);
+}
+
+}  // namespace eo::sched

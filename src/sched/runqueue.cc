@@ -6,27 +6,35 @@
 
 namespace eo::sched {
 
+const QueueTuning Runqueue::kCfsTuning{};
+
 void Runqueue::enqueue(SchedEntity* se, bool wakeup) {
   EO_CHECK(!se->on_rq) << "enqueue of entity already on a runqueue";
+  // Skip state is queue-local; dequeue/detach_all tear it down, so an entity
+  // can never arrive still flagged (a stale skip sequence would corrupt this
+  // queue's round bookkeeping).
+  EO_CHECK(!se->bwd_skip) << "enqueue of entity with BWD skip state";
   se->on_rq = true;
   se->cpu = cpu_;
   if (se->vb_blocked) {
     // Park at the tail, FIFO among parked entities.
     se->vruntime = kVbVruntimeBase + vb_park_seq_++;
     ++nr_vb_blocked_;
-  } else if (wakeup) {
+  } else if (tuning_->arrival_keys) {
+    // FIFO disciplines: runnable entities queue in arrival order,
+    // irrespective of how much they have run.
+    se->vruntime = arrival_seq_++;
+  } else {
     // Sleeper fairness: grant a bounded latency credit, but never let the
-    // entity's vruntime move backwards relative to what it had.
+    // entity's vruntime move backwards relative to what it had. (Fresh and
+    // migrated entities get the same floor; `wakeup` is part of the policy
+    // interface for disciplines that place wakers differently.)
+    (void)wakeup;
     se->vruntime =
         std::max(se->vruntime, min_vruntime_ - params_->sleeper_bonus);
-  } else {
-    // Fresh or migrated entity: never behind this queue's window.
-    se->vruntime = std::max(se->vruntime, min_vruntime_ - params_->sleeper_bonus);
   }
   tree_.insert(se);
   ++nr_running_;
-  // A migrated entity may arrive still skip-flagged; the count follows it.
-  if (se->bwd_skip) ++nr_bwd_skipped_;
   m_enqueues_.inc();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kEnqueue, se->tid,
                  static_cast<std::uint64_t>(nr_running_),
@@ -41,7 +49,11 @@ void Runqueue::dequeue(SchedEntity* se) {
   se->cpu = -1;
   --nr_running_;
   if (se->vb_blocked) --nr_vb_blocked_;
-  if (se->bwd_skip) --nr_bwd_skipped_;
+  if (se->bwd_skip) {
+    se->bwd_skip = false;
+    se->bwd_skip_seq = 0;
+    --nr_bwd_skipped_;
+  }
   m_dequeues_.inc();
   update_min_vruntime();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kDequeue, se->tid,
@@ -56,6 +68,7 @@ SchedEntity* Runqueue::pick_next() {
 
   SchedEntity* chosen = nullptr;
   bool saw_skipped = false;
+  bool skip_expiry_pick = false;
   for (SchedEntity* e = tree_.leftmost(); e != nullptr; e = tree_.next(e)) {
     if (e->bwd_skip) {
       // The skip expires once every other schedulable entity has had a pick
@@ -68,6 +81,7 @@ SchedEntity* Runqueue::pick_next() {
         EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kBwdSkipClear, e->tid,
                        pick_seq_, 0);
         chosen = e;
+        skip_expiry_pick = true;
         break;
       }
       saw_skipped = true;
@@ -88,8 +102,17 @@ SchedEntity* Runqueue::pick_next() {
     }
     nr_bwd_skipped_ = 0;  // curr_ is null, so every flagged entity was queued
     chosen = tree_.leftmost();
+    skip_expiry_pick = true;
   }
   if (chosen == nullptr) return nullptr;
+  if (bias_ != nullptr && !skip_expiry_pick && !chosen->vb_blocked) {
+    // Policy tie-break: may overrule the fair choice, but never a
+    // skip-round completion and never with a VB-parked or skipped entity.
+    SchedEntity* biased = bias_->choose(*this, chosen);
+    EO_CHECK(biased != nullptr && biased->on_rq && biased != curr_);
+    EO_CHECK(!biased->vb_blocked && !biased->bwd_skip);
+    chosen = biased;
+  }
   tree_.erase(chosen);
   curr_ = chosen;
   m_picks_.inc();
@@ -102,17 +125,25 @@ SchedEntity* Runqueue::pick_next() {
 void Runqueue::put_prev(SchedEntity* se) {
   EO_CHECK_EQ(se, curr_);
   curr_ = nullptr;
+  if (tuning_->requeue_tail && tuning_->arrival_keys && !se->vb_blocked) {
+    // Round-robin rotation: a preempted-or-expired entity rejoins at the
+    // tail. (VB-parked entities keep their inflated tail key.)
+    se->vruntime = arrival_seq_++;
+  }
   tree_.insert(se);
 }
 
 void Runqueue::account_curr(SimDuration delta_exec) {
   if (curr_ == nullptr || delta_exec <= 0) return;
-  curr_->vruntime += curr_->vruntime_delta(delta_exec);
+  if (!tuning_->arrival_keys) {
+    curr_->vruntime += curr_->vruntime_delta(delta_exec);
+  }
   curr_->sum_exec += delta_exec;
   update_min_vruntime();
 }
 
 SimDuration Runqueue::slice_for(const SchedEntity* se) const {
+  if (tuning_->fixed_quantum > 0) return tuning_->fixed_quantum;
   const int nr = std::max(1, nr_schedulable());
   SimDuration slice = params_->sched_latency * se->weight /
                       (static_cast<SimDuration>(nr) * kNice0Weight);
@@ -122,6 +153,7 @@ SimDuration Runqueue::slice_for(const SchedEntity* se) const {
 bool Runqueue::should_preempt(const SchedEntity* wakee) const {
   if (curr_ == nullptr) return true;
   if (curr_->vb_blocked) return true;  // flag-check quanta yield to real work
+  if (!tuning_->wakeup_preempt) return false;
   return wakee->vruntime + params_->wakeup_granularity < curr_->vruntime;
 }
 
@@ -147,10 +179,16 @@ void Runqueue::vb_unpark(SchedEntity* se) {
   EO_CHECK(se != curr_);
   tree_.erase(se);
   se->vb_blocked = false;
-  // Wake placement: restore the saved vruntime but grant the same latency
-  // credit a real wakeup would get, so VB wakers are scheduled promptly.
-  se->vruntime =
-      std::max(se->saved_vruntime, min_vruntime_ - params_->sleeper_bonus);
+  if (tuning_->arrival_keys) {
+    // FIFO disciplines have no vruntime credit to give; place the waker at
+    // the queue head so VB wakeups stay prompt (the VB contract).
+    se->vruntime = --head_seq_;
+  } else {
+    // Wake placement: restore the saved vruntime but grant the same latency
+    // credit a real wakeup would get, so VB wakers are scheduled promptly.
+    se->vruntime =
+        std::max(se->saved_vruntime, min_vruntime_ - params_->sleeper_bonus);
+  }
   tree_.insert(se);
   --nr_vb_blocked_;
   update_min_vruntime();
@@ -162,8 +200,12 @@ void Runqueue::vb_clear_current(SchedEntity* se) {
   EO_CHECK_EQ(se, curr_);
   EO_CHECK(se->vb_blocked);
   se->vb_blocked = false;
-  se->vruntime =
-      std::max(se->saved_vruntime, min_vruntime_ - params_->sleeper_bonus);
+  if (tuning_->arrival_keys) {
+    se->vruntime = --head_seq_;
+  } else {
+    se->vruntime =
+        std::max(se->saved_vruntime, min_vruntime_ - params_->sleeper_bonus);
+  }
   --nr_vb_blocked_;
   update_min_vruntime();
   EO_TRACE_EVENT(tracer_, cpu_, trace::EventKind::kVbClear, se->tid,
@@ -179,7 +221,12 @@ std::vector<SchedEntity*> Runqueue::detach_all() {
     e->cpu = -1;
     --nr_running_;
     if (e->vb_blocked) --nr_vb_blocked_;
-    if (e->bwd_skip) --nr_bwd_skipped_;
+    if (e->bwd_skip) {
+      // Same teardown as dequeue: skip state must not leave the queue.
+      e->bwd_skip = false;
+      e->bwd_skip_seq = 0;
+      --nr_bwd_skipped_;
+    }
     out.push_back(e);
   }
   EO_CHECK_EQ(nr_running_, 0);
