@@ -45,7 +45,8 @@ const std::vector<Cfg> kCfgs = {{"vanilla", false}, {"optimized", true}};
 
 traffic::FleetConfig fleet_config(traffic::ArrivalKind kind, double load_frac,
                                   const metrics::RunConfig& cfg,
-                                  std::uint64_t seed, double scale) {
+                                  std::uint64_t seed, double scale,
+                                  std::size_t jobs) {
   traffic::FleetConfig fc;
   fc.n_hosts = std::max(1, static_cast<int>(std::llround(32 * scale)));
   fc.host.n_connections = static_cast<std::uint32_t>(
@@ -66,14 +67,18 @@ traffic::FleetConfig fleet_config(traffic::ArrivalKind kind, double load_frac,
   fc.window = 40_ms;
   fc.drain = 5_ms;
   fc.seed = seed;
+  // --jobs also fans the per-host kernels inside each cell out onto host
+  // threads (hosts are seed-independent; results merge in host order, so the
+  // JSON is byte-identical for any jobs value).
+  fc.jobs = jobs;
   return fc;
 }
 
 exp::CellRun run_one(traffic::ArrivalKind kind, double load_frac,
                      const metrics::RunConfig& cfg, std::uint64_t seed,
-                     double scale) {
+                     double scale, std::size_t jobs) {
   const traffic::FleetConfig fc =
-      fleet_config(kind, load_frac, cfg, seed, scale);
+      fleet_config(kind, load_frac, cfg, seed, scale, jobs);
   traffic::ConnectionFleet fleet(fc);
   const traffic::FleetResult fr = fleet.run();
   const traffic::SloPoint p = traffic::SloReporter::summarize(
@@ -141,7 +146,7 @@ int main(int argc, char** argv) {
   const exp::Outcomes out = runner.run(
       [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
         return run_one(kArrivals[cell.at(0)], kLoads[cell.at(2)].frac, cfg,
-                       cli.seed, cli.scale);
+                       cli.seed, cli.scale, cli.jobs);
       });
 
   for (std::size_t ai = 0; ai < kArrivals.size(); ++ai) {

@@ -170,20 +170,26 @@ const std::vector<Micro> kMicros = {
 // tracking), mean of three scale-1.0 runs: 204.8 / 184.7 / 188.8. Kept in
 // meta next to the live number so the improvement is visible in the JSON.
 constexpr double kPreOverhaulEngineScheduleFireNs = 192.8;
+// Pre-flattening baselines for the two paths the intrusive-waiter /
+// lazy-sampler pass attacked (recorded in BENCH_simcore.json meta next to
+// the live numbers, like the engine baseline above).
+constexpr double kPreFlattenContextSwitchNs = 554.2;
+constexpr double kPreFlattenFutexRoundTripNs = 785.4;
 
 // --gate: hard ns/item ceilings for the simulator hot paths. Reference-host
-// numbers at the time the gate was recorded (engine 65, context switches
-// 530, futex 750, obs tick 550 after the unchanged-core watchdog trim), with
-// 3x headroom so slower or noisy CI hosts don't flake; a breach at 3x means
-// a real algorithmic regression, not scatter.
+// numbers at the time the gate was recorded (engine 65, obs tick 550 after
+// the unchanged-core watchdog trim; context switches ~190 and futex round
+// trips ~330 after the intrusive-waiter-link + lazy-sampler flattening),
+// with headroom so slower or noisy CI hosts don't flake; a breach means a
+// real algorithmic regression, not scatter.
 struct GateLimit {
   const char* name;
   double limit_ns;
 };
 const std::vector<GateLimit> kGates = {
     {"engine_schedule_fire", 204.0},
-    {"kernel_context_switches", 1590.0},
-    {"futex_round_trip", 2250.0},
+    {"kernel_context_switches", 300.0},
+    {"futex_round_trip", 450.0},
     {"obs_sample_tick", 1650.0},
 };
 
@@ -274,6 +280,10 @@ int main(int argc, char** argv) {
   }
   doc.set_meta("baseline_main_ns_per_item_engine_schedule_fire",
                kPreOverhaulEngineScheduleFireNs);
+  doc.set_meta("baseline_main_ns_per_item_kernel_context_switches",
+               kPreFlattenContextSwitchNs);
+  doc.set_meta("baseline_main_ns_per_item_futex_round_trip",
+               kPreFlattenFutexRoundTripNs);
 
   bool gate_ok = true;
   if (gate) {

@@ -21,9 +21,10 @@ Bucket& FutexTable::bucket_for(const kern::SimWord* word) {
 }
 
 bool FutexTable::remove(Bucket& b, const kern::Task* task) {
-  for (auto it = b.waiters.begin(); it != b.waiters.end(); ++it) {
-    if (it->task == task) {
-      b.waiters.erase(it);
+  for (WaiterLink* l = b.waiters.begin_link(); l != b.waiters.end_link();
+       l = l->next) {
+    if (l->task == task) {
+      b.waiters.erase(l);
       return true;
     }
   }

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "futex/waiter_link.h"
 #include "kern/klock.h"
 #include "obs/metrics.h"
 #include "trace/trace.h"
@@ -25,15 +25,12 @@ class SimWord;
 
 namespace eo::futex {
 
-struct Waiter {
-  kern::Task* task = nullptr;
-  /// Waiting via virtual blocking (still on its runqueue) rather than asleep.
-  bool vb = false;
-};
-
 struct Bucket {
   kern::KLock lock;
-  std::deque<Waiter> waiters;
+  /// Intrusive FIFO of WaiterLinks embedded in the waiting tasks: enqueue,
+  /// dequeue, and wake-time splice are pointer operations with no heap
+  /// traffic (each bucket used to own a std::deque).
+  WaiterList waiters;
 };
 
 class FutexTable {

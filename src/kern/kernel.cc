@@ -401,17 +401,25 @@ void Kernel::account_segment(Core& c) {
   const SimDuration dur = t - c.seg_start;
   c.seg_start = t;
   if (dur <= 0) return;
-  const auto sample = instr_.sample(c.seg_kind, dur, c.rng);
-  c.pmc.accumulate(sample);
-  c.lbr.on_execute(c.seg_kind, c.seg_site, dur, instr_);
-  c.window.busy += dur;
-  if (c.seg_kind == hw::SegmentKind::kSpin) {
-    c.window.spin += dur;
-    if (c.window.dominant_site == hw::kVariedSites) {
-      c.window.dominant_site = c.seg_site;
-    } else if (c.window.dominant_site != c.seg_site) {
-      c.window.multiple_spin_sites = true;
+  // LBR/PMC/window state feeds only bwd_timer_fire, whose timer runs only
+  // when features.bwd is on; with BWD off the synthetic PMC sampling (two
+  // Poisson draws per segment from c.rng, which has no other consumer) is
+  // pure cost, so the whole block is skipped. BWD-on runs are unchanged.
+  if (cfg_.features.bwd) {
+    const auto sample = instr_.sample(c.seg_kind, dur, c.rng);
+    c.pmc.accumulate(sample);
+    c.lbr.on_execute(c.seg_kind, c.seg_site, dur, instr_);
+    c.window.busy += dur;
+    if (c.seg_kind == hw::SegmentKind::kSpin) {
+      c.window.spin += dur;
+      if (c.window.dominant_site == hw::kVariedSites) {
+        c.window.dominant_site = c.seg_site;
+      } else if (c.window.dominant_site != c.seg_site) {
+        c.window.multiple_spin_sites = true;
+      }
     }
+  }
+  if (c.seg_kind == hw::SegmentKind::kSpin) {
     c.metrics.spin_busy += dur;
     c.current->stats.spin_time += dur;
     if (ple_.enabled() && c.seg_pause) {
@@ -998,12 +1006,14 @@ bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
     return true;
   }
   int same_word = 0;
-  for (const auto& w : b.waiters) {
-    if (w.task->wait_word == a.word) ++same_word;
+  for (const futex::WaiterLink* l = b.waiters.begin_link();
+       l != b.waiters.end_link(); l = l->next) {
+    if (l->task->wait_word == a.word) ++same_word;
   }
   const bool vb = vb_policy_.use_vb_futex(same_word + 1, n_online_, c.id,
                                           t->tid);
-  b.waiters.push_back(futex::Waiter{t, vb});
+  t->waiter.vb = vb;
+  b.waiters.push_back(&t->waiter);
   t->wait_word = a.word;
   t->vb_waiting = vb;
   t->block_start = now();
@@ -1030,23 +1040,24 @@ bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
 bool Kernel::handle_futex_wake(Core& c, Task* t, const FutexWakeAction& a) {
   auto& b = futex_.bucket_for(a.word);
   SimDuration cost = cfg_.costs.syscall_entry;
-  // Fill a pooled chain in place: a recycled chain keeps its waiters
-  // vector's capacity, so the steady-state wake performs no allocation.
+  // Fill a pooled chain in place: matching waiters are spliced from the
+  // bucket's intrusive list onto the chain's, so the steady-state wake
+  // performs no allocation at all.
   WakeChain* chain = alloc_chain();
   const int want = a.n <= 0 ? 0 : a.n;
   SimDuration hold = cfg_.costs.bucket_lock_hold;
   // Only waiters on this word are woken: buckets are shared by hash, and
   // futex_wake matches the (uaddr) key while walking the bucket queue.
-  for (auto it = b.waiters.begin();
-       it != b.waiters.end() &&
+  for (futex::WaiterLink* l = b.waiters.begin_link();
+       l != b.waiters.end_link() &&
        static_cast<int>(chain->waiters.size()) < want;) {
-    if (it->task->wait_word == a.word) {
-      chain->waiters.push_back(*it);
-      it = b.waiters.erase(it);
+    futex::WaiterLink* next = l->next;
+    if (l->task->wait_word == a.word) {
+      b.waiters.erase(l);
+      chain->waiters.push_back(l);
       hold += cfg_.costs.wake_q_move;
-    } else {
-      ++it;
     }
+    l = next;
   }
   cost += futex_.lock_bucket(b, now(), hold, c.id, t->tid) + hold;
   ++stats_.futex_wakes;
@@ -1074,10 +1085,9 @@ Kernel::WakeChain* Kernel::alloc_chain() {
 }
 
 void Kernel::release_chain(WakeChain* chain) {
+  EO_CHECK(chain->waiters.empty());  // every waiter was popped by a step
   chain->waker = nullptr;
   chain->waker_cpu = -1;
-  chain->waiters.clear();  // keeps capacity for the next wakeup burst
-  chain->idx = 0;
   chain->result = 0;
   chain->delivered = false;
   chain_free_.push_back(chain);
@@ -1096,11 +1106,14 @@ void Kernel::start_wake_chain(Core& c, Task* waker, WakeChain* chain,
 }
 
 void Kernel::wake_chain_step(WakeChain* chain) {
-  if (chain->idx < chain->waiters.size()) {
-    auto& w = chain->waiters[chain->idx++];
-    if (!chain->delivered) finish_action(w.task, 0);
-    const SimDuration cost =
-        w.vb ? wake_task_vb(w.task) : wake_task_vanilla(w.task);
+  if (!chain->waiters.empty()) {
+    // Pop before waking: once woken the task may block again and reuse its
+    // embedded link, so it must already be off the chain.
+    futex::WaiterLink* w = chain->waiters.pop_front();
+    Task* task = w->task;
+    const bool vb = w->vb;
+    if (!chain->delivered) finish_action(task, 0);
+    const SimDuration cost = vb ? wake_task_vb(task) : wake_task_vanilla(task);
     ++chain->result;
     engine_.schedule_after(cost, [this, chain] { wake_chain_step(chain); });
     return;
@@ -1284,7 +1297,8 @@ bool Kernel::handle_epoll_post(Core& c, Task* t, const EpollPostAction& a) {
   // Deliver via the same serialized wake machinery, but the result is
   // already set on the waiter; the chain only performs the wakeups.
   WakeChain* chain = alloc_chain();
-  chain->waiters.push_back(futex::Waiter{w.task, w.vb});
+  w.task->waiter.vb = w.vb;
+  chain->waiters.push_back(&w.task->waiter);
   start_wake_chain(c, t, chain, cost, /*delivered=*/true);
   return false;
 }

@@ -218,16 +218,16 @@ class Kernel {
   /// One asynchronous futex/epoll wake chain (serialized in the waker).
   /// Chains are pooled by the kernel (alloc_chain/release_chain): a wakeup
   /// borrows a chain and the engine events capture a raw pointer, so the
-  /// steady state performs no allocation and no atomic refcounting per wake
-  /// (and a recycled chain keeps its waiters vector's capacity). Exactly one
-  /// engine event per chain is in flight at a time, and chain events are
-  /// never canceled, so the kernel (which outlives its engine events) is the
-  /// only owner.
+  /// steady state performs no allocation and no atomic refcounting per wake.
+  /// Waiters are spliced from the bucket's intrusive list straight onto the
+  /// chain's (each Task embeds one WaiterLink), so filling a chain never
+  /// touches the heap either. Exactly one engine event per chain is in
+  /// flight at a time, and chain events are never canceled, so the kernel
+  /// (which outlives its engine events) is the only owner.
   struct WakeChain {
     Task* waker = nullptr;
     int waker_cpu = -1;
-    std::vector<futex::Waiter> waiters;
-    std::size_t idx = 0;
+    futex::WaiterList waiters;
     std::uint64_t result = 0;
     /// Results were already delivered to the waiters (epoll path).
     bool delivered = false;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "futex/waiter_link.h"
 #include "hw/cache_model.h"
 #include "kern/action.h"
 #include "sched/entity.h"
@@ -44,6 +45,7 @@ struct Task {
   Task(int tid_in, std::string name_in) : tid(tid_in), name(std::move(name_in)) {
     se.task = this;
     se.tid = tid_in;
+    waiter.task = this;
   }
   ~Task() {
     if (top) top.destroy();
@@ -83,6 +85,11 @@ struct Task {
   /// Set while the kernel is executing an asynchronous wake chain on this
   /// task's behalf (non-preemptible, as kernel code is).
   bool in_kernel = false;
+
+  /// Intrusive wait-queue membership: spliced into a futex bucket, an epoll
+  /// wake chain, or an in-flight WakeChain (at most one at a time). The
+  /// link's vb flag is the blocking mode chosen at wait time.
+  futex::WaiterLink waiter;
 
   /// Block bookkeeping: the futex word or epoll fd the task waits on.
   SimWord* wait_word = nullptr;

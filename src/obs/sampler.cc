@@ -14,6 +14,7 @@ SeriesStore::SeriesStore(int n_cores, std::size_t capacity)
 }
 
 void SeriesStore::push(const TickSample& tick, const CoreSample* cores) {
+  EO_CHECK(capacity_ > 0) << "push into an empty (never-started) store";
   ticks_[head_] = tick;
   CoreSample* dst = &cores_[head_ * static_cast<std::size_t>(n_cores_)];
   for (int i = 0; i < n_cores_; ++i) dst[i] = cores[i];
@@ -45,10 +46,13 @@ void SeriesStore::clear() {
   dropped_ = 0;
 }
 
+// series_ stays the default empty store until start() with sampling enabled:
+// the ring (~4096 frames of TickSample + n_cores CoreSamples) dominated
+// Kernel construction cost for the vast majority of kernels that never
+// sample. start() sees capacity 0 != ring_capacity and builds it then.
 Sampler::Sampler(sim::Engine* engine, int n_cores)
     : engine_(engine),
       n_cores_(n_cores),
-      series_(n_cores, SamplerConfig{}.ring_capacity),
       scratch_(static_cast<std::size_t>(n_cores)) {}
 
 Sampler::~Sampler() { stop(); }

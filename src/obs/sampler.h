@@ -75,7 +75,14 @@ struct TickSample {
 /// per frame, pushed together so the two series stay aligned.
 class SeriesStore {
  public:
+  /// An empty store: capacity 0, accepts no frames. The Sampler starts with
+  /// one and only builds real ring storage on start() with sampling enabled,
+  /// so kernels that never sample (the common case on the micro hot paths)
+  /// pay nothing for the ring.
+  SeriesStore() = default;
   SeriesStore(int n_cores, std::size_t capacity);
+  SeriesStore(SeriesStore&&) = default;
+  SeriesStore& operator=(SeriesStore&&) = default;
 
   void push(const TickSample& tick, const CoreSample* cores);
 
@@ -94,8 +101,8 @@ class SeriesStore {
   void clear();
 
  private:
-  int n_cores_;
-  std::size_t capacity_;
+  int n_cores_ = 0;
+  std::size_t capacity_ = 0;
   std::vector<TickSample> ticks_;    ///< capacity entries
   std::vector<CoreSample> cores_;    ///< capacity * n_cores entries
   std::size_t head_ = 0;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "runtime/sim_thread.h"
 
 namespace eo::traffic {
@@ -150,19 +151,36 @@ FleetResult ConnectionFleet::run() {
   res.window = cfg_.window;
   const SimTime warm_end = cfg_.warmup;
   const SimTime win_end = cfg_.warmup + cfg_.window;
-  for (int h = 0; h < cfg_.n_hosts; ++h) {
+
+  // Each host fills its own outcome buffer; nothing shared is written while
+  // hosts run (each kernel is single-threaded and the connection-slab slices
+  // are disjoint), so the same body serves the sequential and the
+  // parallel_for path, and the host-order merge below makes the result
+  // independent of execution interleaving.
+  struct HostOutcome {
+    Histogram latency;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    sched::SchedStats stats;
+    bool violated = false;
+    std::shared_ptr<obs::MetricsDoc> metrics;
+  };
+  const auto n_hosts = static_cast<std::size_t>(cfg_.n_hosts);
+  std::vector<HostOutcome> outcomes(n_hosts);
+
+  const auto run_host = [&](std::size_t h) {
+    HostOutcome& o = outcomes[h];
     // Per-host seed: a fixed mix of (fleet seed, host index), so the host
     // sequence is stable under reordering and fleet resizing.
     const std::uint64_t host_seed =
-        Rng(cfg_.seed + 0x9e3779b97f4a7c15ull *
-                            (static_cast<std::uint64_t>(h) + 1))
+        Rng(cfg_.seed +
+            0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(h) + 1))
             .next_u64();
     kern::KernelConfig kc = cfg_.kernel;
     kc.seed = host_seed;
     kern::Kernel k(kc);
-    ServeHost host(k, cfg_.host,
-                   &conns_[static_cast<std::size_t>(h) *
-                           cfg_.host.n_connections],
+    ServeHost host(k, cfg_.host, &conns_[h * cfg_.host.n_connections],
                    cfg_.arrival, host_seed);
     host.start(win_end);
     k.run_until(warm_end);
@@ -172,17 +190,42 @@ FleetResult ConnectionFleet::run() {
     host.stop();
     k.run_to_exit(k.now() + 1_s);
 
-    res.latency.merge(host.latency());
-    res.issued += host.issued();
-    res.completed += host.completed();
-    res.shed += host.shed();
-    if (h == 0) res.stats = k.stats();
+    o.latency = host.latency();
+    o.issued = host.issued();
+    o.completed = host.completed();
+    o.shed = host.shed();
+    o.stats = k.stats();
     if (k.sampler().enabled()) {
-      const bool violated = k.watchdog().violations() != 0;
+      o.violated = k.watchdog().violations() != 0;
+      // Snapshot only what the merge can pick: host 0 (the representative)
+      // and violating hosts.
+      if (h == 0 || o.violated) {
+        o.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
+      }
+    }
+  };
+
+  if (cfg_.jobs == 1 || n_hosts == 1) {
+    for (std::size_t h = 0; h < n_hosts; ++h) run_host(h);
+  } else {
+    ThreadPool::parallel_for(n_hosts, run_host, cfg_.jobs);
+  }
+
+  // Merge in host order: aggregate counters and histograms commute, and the
+  // metrics pick (first violating host, else host 0) matches the sequential
+  // loop's choice exactly.
+  for (std::size_t h = 0; h < n_hosts; ++h) {
+    HostOutcome& o = outcomes[h];
+    res.latency.merge(o.latency);
+    res.issued += o.issued;
+    res.completed += o.completed;
+    res.shed += o.shed;
+    if (h == 0) res.stats = o.stats;
+    if (o.metrics != nullptr) {
       const bool have_violating =
           res.metrics != nullptr && res.metrics->watchdog_violations != 0;
-      if (res.metrics == nullptr || (violated && !have_violating)) {
-        res.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
+      if (res.metrics == nullptr || (o.violated && !have_violating)) {
+        res.metrics = std::move(o.metrics);
       }
     }
   }

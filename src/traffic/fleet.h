@@ -18,10 +18,12 @@
 //  * When the slab is exhausted the host sheds the arrival (counted, never
 //    queued) — the open-loop analogue of a full accept queue.
 //
-// Hosts are simulated sequentially and deterministically: host h's kernel
+// Hosts are simulated independently and deterministically: host h's kernel
 // and arrival stream are seeded from (fleet seed, h), so the fleet result is
-// a pure function of its config and adding hosts never perturbs existing
-// ones.
+// a pure function of its config, adding hosts never perturbs existing ones,
+// and the hosts can run concurrently on a host-thread pool
+// (`FleetConfig.jobs`) with results merged in host order — byte-identical to
+// the sequential run.
 #pragma once
 
 #include <cstdint>
@@ -143,6 +145,12 @@ struct FleetConfig {
   SimDuration window = 40_ms;
   SimDuration drain = 5_ms;
   std::uint64_t seed = 1;
+  /// Host threads simulating hosts concurrently: 1 = sequential (in the
+  /// calling thread), 0 = hardware concurrency. Hosts are seeded
+  /// independently and write disjoint state, and results are merged in host
+  /// order, so the fleet result is identical for every `jobs` value (the
+  /// serve_parallel_golden ctest pins this byte-for-byte).
+  std::size_t jobs = 1;
 };
 
 /// Aggregated outcome of one fleet run (one offered-load point).
@@ -164,7 +172,9 @@ struct FleetResult {
 };
 
 /// The fleet: owns the flat connection slab (all hosts, resident for the
-/// object's lifetime) and runs the hosts one after another.
+/// object's lifetime) and runs the hosts — sequentially or on a host-thread
+/// pool (`FleetConfig.jobs`), since each host's kernel, arrival stream, and
+/// connection-slab slice are fully independent.
 class ConnectionFleet {
  public:
   explicit ConnectionFleet(const FleetConfig& cfg);

@@ -33,14 +33,16 @@ TEST_F(FutexTableTest, RemoveFindsWaiter) {
   kern::Task* t1 = k_.create_task("t1");
   kern::Task* t2 = k_.create_task("t2");
   auto& b = table_.bucket_for(w);
-  b.waiters.push_back(Waiter{t1, false});
-  b.waiters.push_back(Waiter{t2, true});
+  t2->waiter.vb = true;
+  b.waiters.push_back(&t1->waiter);
+  b.waiters.push_back(&t2->waiter);
   EXPECT_EQ(table_.total_waiters(), 2u);
   EXPECT_TRUE(table_.remove(b, t1));
   EXPECT_FALSE(table_.remove(b, t1));
+  EXPECT_TRUE(WaiterList::detached(&t1->waiter));
   EXPECT_EQ(b.waiters.size(), 1u);
-  EXPECT_EQ(b.waiters.front().task, t2);
-  EXPECT_TRUE(b.waiters.front().vb);
+  EXPECT_EQ(b.waiters.front()->task, t2);
+  EXPECT_TRUE(b.waiters.front()->vb);
 }
 
 TEST_F(FutexTableTest, FifoOrderPreserved) {
@@ -49,11 +51,31 @@ TEST_F(FutexTableTest, FifoOrderPreserved) {
   std::vector<kern::Task*> tasks;
   for (int i = 0; i < 5; ++i) {
     tasks.push_back(k_.create_task("t" + std::to_string(i)));
-    b.waiters.push_back(Waiter{tasks.back(), false});
+    b.waiters.push_back(&tasks.back()->waiter);
   }
-  for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(b.waiters[static_cast<size_t>(i)].task, tasks[static_cast<size_t>(i)]);
+  std::size_t i = 0;
+  for (const WaiterLink* l = b.waiters.begin_link(); l != b.waiters.end_link();
+       l = l->next) {
+    ASSERT_LT(i, tasks.size());
+    EXPECT_EQ(l->task, tasks[i++]);
   }
+  EXPECT_EQ(i, 5u);
+}
+
+TEST_F(FutexTableTest, PopFrontDetachesInFifoOrder) {
+  auto* w = k_.alloc_word(0);
+  auto& b = table_.bucket_for(w);
+  kern::Task* t1 = k_.create_task("t1");
+  kern::Task* t2 = k_.create_task("t2");
+  b.waiters.push_back(&t1->waiter);
+  b.waiters.push_back(&t2->waiter);
+  EXPECT_EQ(b.waiters.pop_front()->task, t1);
+  EXPECT_TRUE(WaiterList::detached(&t1->waiter));
+  EXPECT_EQ(b.waiters.pop_front()->task, t2);
+  EXPECT_TRUE(b.waiters.empty());
+  // A detached link may be re-enqueued (tasks block repeatedly).
+  b.waiters.push_back(&t1->waiter);
+  EXPECT_EQ(b.waiters.size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,99 @@
+// Allocation contract for the kernel's two hottest paths: once a kernel is
+// warm (engine slab, wake-chain pool, runqueue storage at steady-state
+// footprint), a context switch and a futex wait/wake round trip must not
+// touch the heap. Futex waiters ride intrusive WaiterLinks embedded in
+// Task, wake chains are pooled and spliced, and engine callbacks are inline
+// EventFns — so the steady state is pointer work only. Same global-new
+// harness as sim_event_fn_test.cc / traffic_fleet_test.cc.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/units.h"
+#include "kern/kernel.h"
+#include "runtime/sim_thread.h"
+
+// --- allocation-counting harness (whole test binary) ---
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace eo::kern {
+namespace {
+
+/// Allocations performed by `body`.
+template <typename Body>
+std::uint64_t allocs_during(Body&& body) {
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  body();
+  return g_news.load(std::memory_order_relaxed) - before;
+}
+
+TEST(KernHotPath, ContextSwitchesAllocationFreeWhenWarm) {
+  KernelConfig c;
+  c.topo = hw::Topology::make_cores(1, 1);
+  Kernel k(c);
+  // Four oversubscribed compute+yield threads on one core: every yield is a
+  // real context switch through deschedule/pick/begin.
+  for (int i = 0; i < 4; ++i) {
+    runtime::spawn(k, "t", [](runtime::Env env) -> runtime::SimThread {
+      for (int r = 0; r < 2000; ++r) {
+        co_await env.compute(10_us);
+        co_await env.yield();
+      }
+      co_return;
+    });
+  }
+  k.run_until(5_ms);  // warm: engine slab, runqueue storage, timer events
+  const std::uint64_t n = allocs_during([&] { k.run_until(60_ms); });
+  EXPECT_EQ(n, 0u);
+  EXPECT_TRUE(k.run_to_exit(k.now() + 10_s));
+  EXPECT_GT(k.stats().context_switches, 1000u);
+}
+
+TEST(KernHotPath, FutexRoundTripAllocationFreeWhenWarm) {
+  KernelConfig c;
+  c.topo = hw::Topology::make_cores(2, 1);
+  Kernel k(c);
+  SimWord* w = k.alloc_word(0);
+  // Ping-pong: the waiter truly blocks (value reset to 0 after each round),
+  // so every iteration exercises bucket enqueue, wake-chain splice, the
+  // serialized wake steps, and both sides' context switches.
+  runtime::spawn(k, "waiter", [w](runtime::Env env) -> runtime::SimThread {
+    for (int r = 0; r < 3000; ++r) {
+      co_await env.futex_wait(w, 0);
+      co_await env.store(w, 0);
+    }
+    co_return;
+  });
+  runtime::spawn(k, "waker", [w](runtime::Env env) -> runtime::SimThread {
+    for (int r = 0; r < 3000; ++r) {
+      co_await env.compute(5_us);
+      co_await env.store(w, 1);
+      co_await env.futex_wake(w, 1);
+    }
+    co_return;
+  });
+  k.run_until(2_ms);  // warm: one pooled wake chain, engine heap at depth
+  const std::uint64_t n = allocs_during([&] { k.run_until(14_ms); });
+  EXPECT_EQ(n, 0u);
+  EXPECT_TRUE(k.run_to_exit(k.now() + 10_s));
+  EXPECT_GT(k.stats().futex_wakes, 1000u);
+}
+
+}  // namespace
+}  // namespace eo::kern

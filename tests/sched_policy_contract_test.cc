@@ -16,6 +16,7 @@
 #include "metrics/experiment.h"
 #include "obs/metrics.h"
 #include "sched/cfs.h"
+#include "traffic/fleet.h"
 #include "workloads/suite.h"
 
 namespace eo::sched {
@@ -282,6 +283,44 @@ TEST_P(PolicyContractTest, OversubscribedRunDeterministicAndWatchdogClean) {
   EXPECT_EQ(r1.exec_time, r2.exec_time) << "policy is not deterministic";
   ASSERT_NE(r1.metrics, nullptr);
   EXPECT_EQ(r1.metrics->watchdog_violations, 0u);
+}
+
+TEST_P(PolicyContractTest, ParallelHostsMatchSequentialRun) {
+  // The fleet engine may fan its per-host kernels out onto host threads
+  // (FleetConfig.jobs); every policy must produce bit-identical fleet
+  // results either way — per-host kernels share nothing, so any divergence
+  // means hidden cross-kernel state inside the policy plugin.
+  auto run = [&](std::size_t jobs) {
+    traffic::FleetConfig fc;
+    fc.n_hosts = 3;
+    fc.host.n_connections = 2048;
+    fc.host.max_pending = 512;
+    fc.kernel.policy = GetParam();
+    // ~0.7x of the 8-core host's capacity: busy but not shedding-dominated.
+    fc.arrival.rate_per_sec =
+        0.7 * 8e9 / traffic::mean_request_cost_ns(fc.host);
+    fc.warmup = 2_ms;
+    fc.window = 8_ms;
+    fc.drain = 2_ms;
+    fc.seed = 99;
+    fc.jobs = jobs;
+    traffic::ConnectionFleet fleet(fc);
+    return fleet.run();
+  };
+  const traffic::FleetResult seq = run(1);
+  const traffic::FleetResult par = run(4);
+  ASSERT_GT(seq.completed, 0u);
+  EXPECT_EQ(seq.issued, par.issued);
+  EXPECT_EQ(seq.completed, par.completed);
+  EXPECT_EQ(seq.shed, par.shed);
+  EXPECT_EQ(seq.active_connections, par.active_connections);
+  EXPECT_EQ(seq.latency.total_count(), par.latency.total_count());
+  EXPECT_EQ(seq.latency.p50(), par.latency.p50());
+  EXPECT_EQ(seq.latency.p99(), par.latency.p99());
+  EXPECT_EQ(seq.latency.p999(), par.latency.p999());
+  EXPECT_EQ(seq.stats.context_switches, par.stats.context_switches);
+  EXPECT_EQ(seq.stats.wakeups, par.stats.wakeups);
+  EXPECT_EQ(seq.stats.vb_parks, par.stats.vb_parks);
 }
 
 INSTANTIATE_TEST_SUITE_P(PolicyZoo, PolicyContractTest,

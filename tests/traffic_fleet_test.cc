@@ -176,5 +176,50 @@ TEST(Fleet, RunIsDeterministic) {
   EXPECT_NE(c.run().latency.p50(), ra.latency.p50());
 }
 
+TEST(Fleet, ParallelRunMatchesSequential) {
+  // jobs=N is a pure reordering of independent per-host simulations: every
+  // aggregate and every per-connection record must match the sequential run
+  // exactly, with metrics sampling on so the snapshot pick is covered too.
+  FleetConfig fc;
+  fc.n_hosts = 4;
+  fc.host = small_host();
+  fc.host.n_connections = 2048;
+  fc.kernel.topo = hw::Topology::make_cores(8, 1);
+  fc.kernel.metrics.enabled = true;
+  fc.arrival.kind = ArrivalKind::kPoisson;
+  fc.arrival.rate_per_sec = offered(fc.host, 0.8);
+  fc.warmup = 2_ms;
+  fc.window = 10_ms;
+  fc.drain = 2_ms;
+  fc.seed = 77;
+
+  ConnectionFleet a(fc);
+  const FleetResult ra = a.run();
+  fc.jobs = 4;
+  ConnectionFleet b(fc);
+  const FleetResult rb = b.run();
+  EXPECT_GT(ra.completed, 0u);
+  EXPECT_EQ(ra.issued, rb.issued);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.shed, rb.shed);
+  EXPECT_EQ(ra.active_connections, rb.active_connections);
+  EXPECT_EQ(ra.latency.total_count(), rb.latency.total_count());
+  EXPECT_EQ(ra.latency.p50(), rb.latency.p50());
+  EXPECT_EQ(ra.latency.p99(), rb.latency.p99());
+  EXPECT_EQ(ra.latency.p999(), rb.latency.p999());
+  EXPECT_EQ(ra.stats.context_switches, rb.stats.context_switches);
+  EXPECT_EQ(ra.stats.wakeups, rb.stats.wakeups);
+  for (std::size_t i = 0; i < a.total_connections(); ++i) {
+    ASSERT_EQ(a.connections()[i].issued, b.connections()[i].issued) << i;
+    ASSERT_EQ(a.connections()[i].completed, b.connections()[i].completed) << i;
+  }
+  // Both runs sampled host 0 (no violations anywhere): same snapshot pick.
+  ASSERT_NE(ra.metrics, nullptr);
+  ASSERT_NE(rb.metrics, nullptr);
+  EXPECT_EQ(ra.metrics->watchdog_violations, 0u);
+  EXPECT_EQ(ra.metrics->watchdog_checks, rb.metrics->watchdog_checks);
+  EXPECT_EQ(ra.metrics->tick_series.size(), rb.metrics->tick_series.size());
+}
+
 }  // namespace
 }  // namespace eo::traffic
