@@ -7,7 +7,7 @@
 //           [--seed=N] [--sched=cfs|fifo|rr|pcfs] [--trace=<path>]
 //           [--trace-format=json|csv] [--trace-only] [--metrics[=<path>]]
 //           [--metrics-interval=<us>] [--metrics-format=json|csv|report]
-//           [--help]
+//           [--fleet-metrics[=<path>]] [--progress=none|line|jsonl] [--help]
 //
 // The positional scale multiplies the simulated round counts, so
 // `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "exp/cli.h"
 #include "exp/result.h"
 #include "exp/runner.h"
@@ -28,6 +30,7 @@
 #include "metrics/experiment.h"
 #include "metrics/table_printer.h"
 #include "obs/export.h"
+#include "obs/fleet_agg.h"
 #include "obs/sampler.h"
 #include "trace/export.h"
 #include "trace/timeline.h"
@@ -208,6 +211,72 @@ inline bool check_sweep_metrics(const exp::Outcomes& out, const Cli& cli) {
     return false;
   }
   return export_and_check_metrics(*rep, cli) && ok;
+}
+
+/// Fleet-level telemetry check (--fleet-metrics benches): every ran cell
+/// must carry a merged eo-metrics-fleet document with zero watchdog
+/// violations; one representative document (first ran cell in flat order) is
+/// summarized for imbalance and exported when a path was given. `docs` is
+/// indexed by cell flat index. Returns true when --fleet-metrics is off or
+/// everything checks out.
+inline bool check_fleet_metrics(
+    const std::vector<std::shared_ptr<obs::FleetMetricsDoc>>& docs,
+    const exp::Outcomes& out, const Cli& cli) {
+  if (!cli.fleet_metrics) return true;
+  const obs::FleetMetricsDoc* rep = nullptr;
+  bool ok = true;
+  for (const auto& o : out) {
+    if (!o.ran()) continue;
+    const auto& d = docs[o.cell.flat];
+    if (!d) {
+      std::fprintf(stderr, "fleet-metrics: cell '%s' captured no fleet "
+                           "telemetry\n",
+                   o.cell.id().c_str());
+      ok = false;
+      continue;
+    }
+    if (!rep) rep = d.get();
+    if (d->watchdog_violations != 0) {
+      std::fprintf(stderr,
+                   "fleet-metrics: cell '%s': %llu watchdog violation(s)\n",
+                   o.cell.id().c_str(),
+                   static_cast<unsigned long long>(d->watchdog_violations));
+      for (const auto& v : d->violation_records) {
+        std::fprintf(stderr, "fleet-metrics:   t=%lld %s: %s\n",
+                     static_cast<long long>(v.ts), v.invariant.c_str(),
+                     v.detail.c_str());
+      }
+      ok = false;
+    }
+  }
+  if (!rep) {
+    std::fprintf(stderr, "fleet-metrics: no cell captured fleet telemetry\n");
+    return false;
+  }
+  // Imbalance summary across the representative cell's hosts.
+  std::int64_t p99_min = 0, p99_max = 0;
+  std::uint64_t shed_max = 0;
+  for (std::size_t h = 0; h < rep->hosts.size(); ++h) {
+    const obs::FleetHostEntry& e = rep->hosts[h];
+    if (h == 0 || e.p99_ns < p99_min) p99_min = e.p99_ns;
+    if (h == 0 || e.p99_ns > p99_max) p99_max = e.p99_ns;
+    if (e.shed > shed_max) shed_max = e.shed;
+  }
+  std::printf("fleet-metrics: %d hosts, host p99 %.1f-%.1f us, max "
+              "host shed %llu, %llu watchdog checks\n",
+              rep->n_hosts, static_cast<double>(p99_min) / 1e3,
+              static_cast<double>(p99_max) / 1e3,
+              static_cast<unsigned long long>(shed_max),
+              static_cast<unsigned long long>(rep->watchdog_checks));
+  if (cli.fleet_metrics_path.empty()) return ok;
+  std::string err;
+  if (!obs::export_fleet_to_file(*rep, cli.fleet_metrics_path, "json",
+                                 &err)) {
+    std::fprintf(stderr, "fleet-metrics: export failed: %s\n", err.c_str());
+    return false;
+  }
+  std::printf("fleet-metrics: wrote %s\n", cli.fleet_metrics_path.c_str());
+  return ok;
 }
 
 inline void print_header(const char* id, const char* what) {

@@ -46,7 +46,8 @@ const std::vector<Cfg> kCfgs = {{"vanilla", false}, {"optimized", true}};
 traffic::FleetConfig fleet_config(traffic::ArrivalKind kind, double load_frac,
                                   const metrics::RunConfig& cfg,
                                   std::uint64_t seed, double scale,
-                                  std::size_t jobs) {
+                                  std::size_t jobs,
+                                  obs::ProgressSink* progress) {
   traffic::FleetConfig fc;
   fc.n_hosts = std::max(1, static_cast<int>(std::llround(32 * scale)));
   fc.host.n_connections = static_cast<std::uint32_t>(
@@ -71,14 +72,17 @@ traffic::FleetConfig fleet_config(traffic::ArrivalKind kind, double load_frac,
   // threads (hosts are seed-independent; results merge in host order, so the
   // JSON is byte-identical for any jobs value).
   fc.jobs = jobs;
+  fc.progress = progress;
   return fc;
 }
 
-exp::CellRun run_one(traffic::ArrivalKind kind, double load_frac,
-                     const metrics::RunConfig& cfg, std::uint64_t seed,
-                     double scale, std::size_t jobs) {
+exp::CellRun run_one(
+    const exp::Cell& cell, traffic::ArrivalKind kind, double load_frac,
+    const metrics::RunConfig& cfg, std::uint64_t seed, double scale,
+    std::size_t jobs, obs::ProgressSink* progress,
+    std::vector<std::shared_ptr<obs::FleetMetricsDoc>>* fleet_docs) {
   const traffic::FleetConfig fc =
-      fleet_config(kind, load_frac, cfg, seed, scale, jobs);
+      fleet_config(kind, load_frac, cfg, seed, scale, jobs, progress);
   traffic::ConnectionFleet fleet(fc);
   const traffic::FleetResult fr = fleet.run();
   const traffic::SloPoint p = traffic::SloReporter::summarize(
@@ -89,6 +93,9 @@ exp::CellRun run_one(traffic::ArrivalKind kind, double load_frac,
   r.run.exec_time = fc.warmup + fc.window + fc.drain;
   r.run.stats = fr.stats;
   r.run.metrics = fr.metrics;
+  // Cells write disjoint flat-indexed slots, so the parallel runner needs no
+  // lock here and the slot layout is identical for every --jobs value.
+  if (fleet_docs != nullptr) (*fleet_docs)[cell.flat] = fr.fleet_metrics;
   r.set("offered_ops_s", p.offered_ops_s)
       .set("achieved_ops_s", p.achieved_ops_s)
       .set("shed_pct", p.shed_fraction * 100.0)
@@ -96,6 +103,9 @@ exp::CellRun run_one(traffic::ArrivalKind kind, double load_frac,
       .set("p50_us", p.p50_us)
       .set("p99_us", p.p99_us)
       .set("p999_us", p.p999_us)
+      .set("queue_p99_us", p.queue_p99_us)
+      .set("service_p99_us", p.service_p99_us)
+      .set("sched_delay_p99_us", p.sched_delay_p99_us)
       .set("connections", static_cast<double>(fr.total_connections))
       .set("active_connections", static_cast<double>(fr.active_connections));
   return r;
@@ -109,7 +119,8 @@ int main(int argc, char** argv) {
       .summary =
           "open-loop million-connection serving: offered load vs tail latency",
       .default_scale = 0.1,
-      .default_seed = 1234};
+      .default_seed = 1234,
+      .supports_fleet = true};
   const bench::Cli cli = bench::Cli::parse(argc, argv, spec);
 
   std::vector<std::string> arrival_labels;
@@ -135,7 +146,12 @@ int main(int argc, char** argv) {
             })
       .axis("load", load_labels);
 
-  exp::ExperimentRunner runner(sweep, cli.runner_options());
+  // One sink shared by the runner (cell events) and every fleet (host
+  // events), so the feed is a single interleaved stream.
+  std::shared_ptr<obs::ProgressSink> sink = cli.progress_sink();
+  exp::RunnerOptions ropts = cli.runner_options();
+  ropts.sink = sink;
+  exp::ExperimentRunner runner(sweep, ropts);
   if (cli.list) {
     runner.list(std::cout);
     return 0;
@@ -143,10 +159,13 @@ int main(int argc, char** argv) {
 
   bench::print_header("serve_openloop",
                       "open-loop serving: offered load vs p99/p999");
+  std::vector<std::shared_ptr<obs::FleetMetricsDoc>> fleet_docs(
+      arrival_labels.size() * cfg_labels.size() * load_labels.size());
   const exp::Outcomes out = runner.run(
       [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
-        return run_one(kArrivals[cell.at(0)], kLoads[cell.at(2)].frac, cfg,
-                       cli.seed, cli.scale, cli.jobs);
+        return run_one(cell, kArrivals[cell.at(0)], kLoads[cell.at(2)].frac,
+                       cfg, cli.seed, cli.scale, cli.jobs, sink.get(),
+                       cli.metrics ? &fleet_docs : nullptr);
       });
 
   for (std::size_t ai = 0; ai < kArrivals.size(); ++ai) {
@@ -196,7 +215,8 @@ int main(int argc, char** argv) {
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
   doc.add_sweep(sweep, out);
-  const bool ok =
-      bench::write_results(cli, doc) && bench::check_sweep_metrics(out, cli);
+  bool ok = bench::write_results(cli, doc);
+  ok = bench::check_sweep_metrics(out, cli) && ok;
+  ok = bench::check_fleet_metrics(fleet_docs, out, cli) && ok;
   return ok ? 0 : 1;
 }

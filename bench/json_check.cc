@@ -1,8 +1,9 @@
 // json_check <file>... — validates machine-readable bench documents. The
 // schema is dispatched on the document's own "schema" field:
 //
-//   "eo-bench-result"  result grids (src/exp/result.h)
-//   "eo-metrics"       live-telemetry exports (src/obs/export.h)
+//   "eo-bench-result"   result grids (src/exp/result.h)
+//   "eo-metrics"        live-telemetry exports (src/obs/export.h)
+//   "eo-metrics-fleet"  merged fleet telemetry (src/obs/fleet_agg.h)
 //
 // Beyond structure, any recorded watchdog violation fails the check — in
 // eo-metrics documents (watchdog.violations) and in result-grid cells that
@@ -23,6 +24,7 @@
 #include "common/json.h"
 #include "exp/result.h"
 #include "obs/export.h"
+#include "obs/fleet_agg.h"
 
 namespace {
 
@@ -57,8 +59,14 @@ bool check_file(const std::string& text, std::string* err) {
     *err = "document has no string 'schema' field";
     return false;
   }
-  if (schema->str == eo::obs::kMetricsSchemaName) {
-    if (!eo::obs::validate_metrics_json(text, err)) return false;
+  if (schema->str == eo::obs::kMetricsSchemaName ||
+      schema->str == eo::obs::kFleetMetricsSchemaName) {
+    const bool fleet = schema->str == eo::obs::kFleetMetricsSchemaName;
+    if (fleet) {
+      if (!eo::obs::validate_fleet_metrics_json(text, err)) return false;
+    } else {
+      if (!eo::obs::validate_metrics_json(text, err)) return false;
+    }
     const eo::json::Value* wd = root.get("watchdog");
     const eo::json::Value* v = wd ? wd->get("violations") : nullptr;
     if (v && v->num != 0) {

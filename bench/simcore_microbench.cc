@@ -10,8 +10,10 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "kern/kernel.h"
+#include "obs/fleet_agg.h"
 #include "runtime/sim_thread.h"
 #include "sched/entity.h"
 #include "sched/rbtree.h"
@@ -125,6 +127,66 @@ MicroResult obs_sample_tick() {
   return {k.sampler().ticks(), k.stats().context_switches};
 }
 
+MicroResult obs_fleet_merge() {
+  // Host cost of folding a full 32-host fleet's telemetry into one
+  // eo-metrics-fleet document (FleetAggregator::add_host x32 + finish()).
+  // Items = hosts merged, so ns/item is the per-host share of the merge.
+  // Inputs are synthetic but sized like a real serve-host snapshot: 6
+  // counters, 4 gauges, 4 histograms with thousands of observations, and a
+  // retained 8-core sample ring. Built once; every rep re-runs the merge.
+  struct HostInput {
+    obs::MetricsDoc doc;
+    std::vector<Histogram> hists;
+  };
+  static const std::vector<HostInput> inputs = [] {
+    std::vector<HostInput> v(32);
+    Rng rng(7);
+    for (int h = 0; h < 32; ++h) {
+      HostInput& in = v[static_cast<std::size_t>(h)];
+      in.doc.n_cores = 8;
+      in.doc.interval = 1_ms;
+      in.doc.ticks = 55;
+      for (int c = 0; c < 6; ++c) {
+        in.doc.counters.push_back(
+            {"ctr" + std::to_string(c), rng.next_below(1 << 20)});
+      }
+      for (int g = 0; g < 4; ++g) {
+        in.doc.gauges.push_back(
+            {"gauge" + std::to_string(g),
+             static_cast<std::int64_t>(rng.next_below(256))});
+      }
+      in.doc.core_series.resize(55 * 8);
+      for (auto& cs : in.doc.core_series) {
+        cs.rq_depth = static_cast<std::int32_t>(rng.next_below(16));
+      }
+      in.doc.watchdog_checks = 55;
+      in.hists.resize(4);
+      for (auto& hist : in.hists) {
+        for (int i = 0; i < 4096; ++i) {
+          hist.add(static_cast<std::int64_t>(1000 + rng.next_below(1 << 22)));
+        }
+      }
+    }
+    return v;
+  }();
+  obs::FleetAggregator agg;
+  for (int h = 0; h < 32; ++h) {
+    const HostInput& in = inputs[static_cast<std::size_t>(h)];
+    obs::FleetHostSample s;
+    s.host = h;
+    s.doc = &in.doc;
+    for (std::size_t i = 0; i < in.hists.size(); ++i) {
+      s.histograms.emplace_back("hist" + std::to_string(i), &in.hists[i]);
+    }
+    s.issued = 1000;
+    s.completed = 990;
+    s.shed = 10;
+    agg.add_host(s);
+  }
+  const obs::FleetMetricsDoc doc = agg.finish();
+  return {static_cast<std::uint64_t>(doc.n_hosts), 0};
+}
+
 MicroResult futex_round_trip() {
   kern::KernelConfig c;
   c.topo = hw::Topology::make_cores(2, 1);
@@ -163,6 +225,7 @@ const std::vector<Micro> kMicros = {
     {"kernel_context_switches", kernel_context_switches},
     {"futex_round_trip", futex_round_trip},
     {"obs_sample_tick", obs_sample_tick},
+    {"obs_fleet_merge", obs_fleet_merge},
 };
 
 // engine_schedule_fire ns/item on the reference host immediately before the
@@ -179,9 +242,11 @@ constexpr double kPreFlattenFutexRoundTripNs = 785.4;
 // --gate: hard ns/item ceilings for the simulator hot paths. Reference-host
 // numbers at the time the gate was recorded (engine 65, obs tick 550 after
 // the unchanged-core watchdog trim; context switches ~190 and futex round
-// trips ~330 after the intrusive-waiter-link + lazy-sampler flattening),
-// with headroom so slower or noisy CI hosts don't flake; a breach means a
-// real algorithmic regression, not scatter.
+// trips ~330 after the intrusive-waiter-link + lazy-sampler flattening;
+// fleet merge ~18500 per host, i.e. ~0.6ms for a full 32-host document —
+// far below 1% of any fleet window's host runtime), with headroom so slower
+// or noisy CI hosts don't flake; a breach means a real algorithmic
+// regression, not scatter.
 struct GateLimit {
   const char* name;
   double limit_ns;
@@ -191,6 +256,7 @@ const std::vector<GateLimit> kGates = {
     {"kernel_context_switches", 300.0},
     {"futex_round_trip", 450.0},
     {"obs_sample_tick", 1650.0},
+    {"obs_fleet_merge", 40000.0},
 };
 
 }  // namespace

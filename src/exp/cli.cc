@@ -46,6 +46,21 @@ std::string policy_list() {
 
 }  // namespace
 
+std::shared_ptr<obs::ProgressSink> Cli::progress_sink() const {
+  return obs::make_progress_sink(progress);
+}
+
+RunnerOptions Cli::runner_options() const {
+  RunnerOptions o;
+  o.jobs = jobs;
+  o.filter = filter;
+  o.progress = progress != "none";
+  // "line" keeps the runner's own stderr lines (byte-identical to the line
+  // sink's cell events); only the structured mode needs a sink here.
+  if (progress == "jsonl") o.sink = progress_sink();
+  return o;
+}
+
 std::string Cli::usage(const CliSpec& spec) {
   std::ostringstream os;
   os << "usage: " << spec.id << " [scale] [options]\n"
@@ -78,7 +93,16 @@ std::string Cli::usage(const CliSpec& spec) {
         "                       sampling period in simulated microseconds "
         "(default 1000)\n"
      << "  --metrics-format=F   metrics export format: json|csv|report "
-        "(default json)\n"
+        "(default json)\n";
+  if (spec.supports_fleet) {
+    os << "  --fleet-metrics[=<path>]\n"
+          "                       merge every host's telemetry into one\n"
+          "                       eo-metrics-fleet document (implies "
+          "--metrics);\n"
+          "                       with a path, export the merged document\n";
+  }
+  os << "  --progress=MODE      live progress feed: none|line|jsonl "
+        "(default line)\n"
      << "  --help               show this help\n";
   return os.str();
 }
@@ -164,6 +188,25 @@ bool Cli::parse_into(int argc, char** argv, const CliSpec& spec, Cli* out,
           out->metrics_interval_us == 0) {
         *err = "invalid --metrics-interval value '" + arg.substr(19) +
                "' (want a positive integer, microseconds)";
+        return false;
+      }
+    } else if (spec.supports_fleet && arg == "--fleet-metrics") {
+      out->fleet_metrics = true;
+      out->metrics = true;
+    } else if (spec.supports_fleet && arg.rfind("--fleet-metrics=", 0) == 0) {
+      out->fleet_metrics = true;
+      out->metrics = true;
+      out->fleet_metrics_path = arg.substr(16);
+      if (out->fleet_metrics_path.empty()) {
+        *err = "empty --fleet-metrics= path";
+        return false;
+      }
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      out->progress = arg.substr(11);
+      if (out->progress != "none" && out->progress != "line" &&
+          out->progress != "jsonl") {
+        *err = "--progress must be 'none', 'line', or 'jsonl' (got '" +
+               out->progress + "')";
         return false;
       }
     } else if (arg.rfind("--metrics-format=", 0) == 0) {

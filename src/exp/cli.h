@@ -29,6 +29,9 @@ struct CliSpec {
   std::uint64_t default_seed = 7;
   /// Whether the bench accepts the --trace* flags.
   bool supports_trace = false;
+  /// Whether the bench accepts the --fleet-metrics flag (benches that run a
+  /// traffic::ConnectionFleet and can emit an eo-metrics-fleet document).
+  bool supports_fleet = false;
 };
 
 class Cli {
@@ -55,15 +58,27 @@ class Cli {
   std::string metrics_path;  ///< empty = no standalone export
   std::uint64_t metrics_interval_us = 1000;
   std::string metrics_format = "json";
+  /// Live progress feed: "line" (human stderr lines, the default), "jsonl"
+  /// (one JSON event per line, machine-readable), or "none".
+  std::string progress = "line";
+  /// Fleet observability (--fleet-metrics, benches with supports_fleet):
+  /// retain every host's telemetry and merge it into one eo-metrics-fleet
+  /// document; with a path, export the merged document there. Implies
+  /// --metrics.
+  bool fleet_metrics = false;
+  std::string fleet_metrics_path;  ///< empty = no standalone export
 
   bool tracing() const { return !trace_path.empty(); }
 
-  RunnerOptions runner_options() const {
-    RunnerOptions o;
-    o.jobs = jobs;
-    o.filter = filter;
-    return o;
-  }
+  /// The sink for `--progress` ("none" returns null). Each call builds a
+  /// fresh sink; benches that feed both the runner and a fleet should call
+  /// once and share it.
+  std::shared_ptr<obs::ProgressSink> progress_sink() const;
+
+  /// Runner options carrying jobs/filter plus the progress configuration:
+  /// "line" keeps the runner's own stderr lines, "jsonl" attaches a JSONL
+  /// sink, "none" silences the feed.
+  RunnerOptions runner_options() const;
 
   /// Usage text for the spec (the --help / error output).
   static std::string usage(const CliSpec& spec);

@@ -74,10 +74,18 @@ Outcomes ExperimentRunner::run(const RunFn& fn) const {
 
   std::mutex progress_mu;
   std::size_t done = 0;
+  obs::ProgressSink* sink = opts_.sink.get();
   ThreadPool::parallel_for(
       active.size(),
       [&](std::size_t j) {
         CellOutcome& o = out[active[j]];
+        if (sink != nullptr) {
+          obs::ProgressEvent ev;
+          ev.kind = obs::ProgressEvent::Kind::kCellStart;
+          ev.label = o.cell.id();
+          ev.total = active.size();
+          sink->emit(ev);
+        }
         metrics::RunConfig cfg = o.cell.cfg;
         CellRun r;
         int attempt = 0;
@@ -97,7 +105,23 @@ Outcomes ExperimentRunner::run(const RunFn& fn) const {
         o.not_applicable = r.not_applicable;
         o.attempts = attempt;
         o.final_deadline = cfg.deadline;
-        if (opts_.progress) {
+        if (sink != nullptr) {
+          std::size_t done_now;
+          {
+            std::lock_guard<std::mutex> lk(progress_mu);
+            done_now = ++done;
+          }
+          obs::ProgressEvent ev;
+          ev.kind = obs::ProgressEvent::Kind::kCellFinish;
+          ev.label = o.cell.id();
+          ev.done = done_now;
+          ev.total = active.size();
+          ev.not_applicable = o.not_applicable;
+          ev.ok = o.run.completed;
+          ev.exec_ms = o.ms();
+          ev.attempts = o.attempts;
+          sink->emit(ev);
+        } else if (opts_.progress) {
           std::lock_guard<std::mutex> lk(progress_mu);
           ++done;
           if (o.not_applicable) {

@@ -12,12 +12,14 @@
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "exp/sweep.h"
 #include "metrics/experiment.h"
+#include "obs/progress.h"
 
 namespace eo::exp {
 
@@ -78,6 +80,11 @@ struct RunnerOptions {
   double deadline_factor = 4.0;
   /// Stream per-cell progress lines to stderr.
   bool progress = true;
+  /// Structured progress feed (cell started/finished). When set it replaces
+  /// the stderr lines above — the line emitter reproduces them verbatim —
+  /// and benches can hand the same sink to their fleets for host-level
+  /// events. Shared: the runner emits from its worker threads.
+  std::shared_ptr<obs::ProgressSink> sink;
 };
 
 /// Grid-shaped outcome container, cells in row-major flat order.

@@ -369,17 +369,7 @@ obs::MetricsDoc Kernel::snapshot_metrics() const {
   doc.counters = metric_registry_.snapshot_counters();
   doc.gauges = metric_registry_.snapshot_gauges();
   for (const auto& h : metric_registry_.histograms()) {
-    obs::HistogramSummary s;
-    s.name = h.name;
-    s.count = h.hist->total_count();
-    s.min = h.hist->min();
-    s.max = h.hist->max();
-    s.mean = h.hist->mean();
-    s.p50 = h.hist->p50();
-    s.p95 = h.hist->p95();
-    s.p99 = h.hist->p99();
-    s.p999 = h.hist->p999();
-    doc.histograms.push_back(std::move(s));
+    doc.histograms.push_back(obs::summarize_histogram(h.name, *h.hist));
   }
   sampler_.series().copy_ordered(&doc.tick_series, &doc.core_series);
   doc.watchdog_checks = watchdog_.checks();

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/histogram.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "metrics/table_printer.h"
@@ -243,6 +244,21 @@ bool validate_named_values(const json::Value& root, const char* key,
 }
 
 }  // namespace
+
+HistogramSummary summarize_histogram(const std::string& name,
+                                     const Histogram& hist) {
+  HistogramSummary s;
+  s.name = name;
+  s.count = hist.total_count();
+  s.min = hist.min();
+  s.max = hist.max();
+  s.mean = hist.mean();
+  s.p50 = hist.p50();
+  s.p95 = hist.p95();
+  s.p99 = hist.p99();
+  s.p999 = hist.p999();
+  return s;
+}
 
 std::string render(const MetricsDoc& doc, const std::string& format) {
   std::ostringstream os;

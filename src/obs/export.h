@@ -59,6 +59,12 @@ struct MetricsDoc {
   std::vector<Violation> violation_records;
 };
 
+/// Builds the export-time summary of `hist` under `name` — the one
+/// quantile-snapshot routine shared by the kernel snapshot and the fleet
+/// aggregator, so every document derives summaries identically.
+HistogramSummary summarize_histogram(const std::string& name,
+                                     const Histogram& hist);
+
 /// Renders per format ("json", "csv", or "report").
 std::string render(const MetricsDoc& doc, const std::string& format);
 

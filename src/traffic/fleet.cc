@@ -39,6 +39,8 @@ ServeHost::ServeHost(kern::Kernel& k, const ServeHostConfig& cfg,
   EO_CHECK(cfg_.max_pending > 0);
   EO_CHECK(cfg_.n_connections < kOpSetBit)
       << "connection index must fit in 31 bits";
+  copy_cost_ = static_cast<SimDuration>(
+      cfg_.copy_ns_per_byte * static_cast<double>(cfg_.value_bytes));
   epfd_ = k_.epoll_create();
   // Build the slab with its free list fully chained; the request path only
   // ever pops/pushes the head.
@@ -51,20 +53,20 @@ ServeHost::ServeHost(kern::Kernel& k, const ServeHostConfig& cfg,
 
 void ServeHost::start(SimTime inject_until) {
   inject_until_ = inject_until;
-  const SimDuration copy_cost = static_cast<SimDuration>(
-      cfg_.copy_ns_per_byte * static_cast<double>(cfg_.value_bytes));
   for (int i = 0; i < cfg_.n_workers; ++i) {
     ServeHost* self = this;
     runtime::spawn(k_, "serve-worker-" + std::to_string(i),
-                   [self, copy_cost](Env env) -> SimThread {
+                   [self](Env env) -> SimThread {
                      const ServeHostConfig& c = self->cfg_;
+                     const SimDuration copy_cost = self->copy_cost_;
                      for (;;) {
                        const std::uint64_t ev =
                            co_await env.epoll_wait(self->epfd_);
                        if (ev == kStopEvent) break;
                        const auto slot = static_cast<std::uint32_t>(ev);
-                       const bool is_set =
-                           (self->slab_[slot].conn_and_op & kOpSetBit) != 0;
+                       PendingRequest& req = self->slab_[slot];
+                       req.dequeued = env.now();
+                       const bool is_set = (req.conn_and_op & kOpSetBit) != 0;
                        co_await env.compute(c.parse_cost);
                        co_await env.compute(c.lookup_cost);
                        co_await env.compute(is_set
@@ -114,6 +116,16 @@ void ServeHost::complete(std::uint32_t slot, SimTime now) {
   const std::uint32_t ci = req.conn_and_op & ~kOpSetBit;
   const SimDuration lat = now - req.arrival;
   latency_.add(lat);
+  // Attribution: queueing is epoll-ready-queue wait, service is everything
+  // after the worker picked the request up, and scheduling delay is the
+  // service time's excess over the request's ideal CPU cost (preemptions,
+  // runqueue waits mid-request). All histogram adds — alloc-free.
+  queueing_.add(req.dequeued - req.arrival);
+  const SimDuration svc = now - req.dequeued;
+  service_.add(svc);
+  SimDuration ideal = cfg_.parse_cost + cfg_.lookup_cost + copy_cost_;
+  if ((req.conn_and_op & kOpSetBit) != 0) ideal += cfg_.set_extra_cost;
+  sched_delay_.add(svc > ideal ? svc - ideal : 0);
   Connection& conn = conns_[ci];
   ++conn.completed;
   --conn.inflight;
@@ -133,6 +145,9 @@ void ServeHost::stop() {
 
 void ServeHost::begin_window() {
   latency_.clear();
+  queueing_.clear();
+  service_.clear();
+  sched_delay_.clear();
   issued_ = 0;
   completed_ = 0;
   shed_ = 0;
@@ -156,18 +171,26 @@ FleetResult ConnectionFleet::run() {
   // hosts run (each kernel is single-threaded and the connection-slab slices
   // are disjoint), so the same body serves the sequential and the
   // parallel_for path, and the host-order merge below makes the result
-  // independent of execution interleaving.
+  // independent of execution interleaving. (The progress sink is the one
+  // shared object hosts touch mid-run; it is thread-safe and write-only.)
   struct HostOutcome {
     Histogram latency;
+    Histogram queueing;
+    Histogram service;
+    Histogram sched_delay;
     std::uint64_t issued = 0;
     std::uint64_t completed = 0;
     std::uint64_t shed = 0;
     sched::SchedStats stats;
     bool violated = false;
     std::shared_ptr<obs::MetricsDoc> metrics;
+    /// Raw registry histograms, copied while the kernel was alive (the doc
+    /// only carries quantile summaries, which do not merge).
+    std::vector<std::pair<std::string, Histogram>> reg_hists;
   };
   const auto n_hosts = static_cast<std::size_t>(cfg_.n_hosts);
   std::vector<HostOutcome> outcomes(n_hosts);
+  obs::ProgressSink* progress = cfg_.progress;
 
   const auto run_host = [&](std::size_t h) {
     HostOutcome& o = outcomes[h];
@@ -182,26 +205,65 @@ FleetResult ConnectionFleet::run() {
     kern::Kernel k(kc);
     ServeHost host(k, cfg_.host, &conns_[h * cfg_.host.n_connections],
                    cfg_.arrival, host_seed);
+    if (progress != nullptr) {
+      obs::ProgressEvent ev;
+      ev.kind = obs::ProgressEvent::Kind::kHostStart;
+      ev.host = static_cast<int>(h);
+      ev.n_hosts = cfg_.n_hosts;
+      progress->emit(ev);
+    }
     host.start(win_end);
     k.run_until(warm_end);
     host.begin_window();
-    k.run_until(win_end);
+    if (progress == nullptr) {
+      k.run_until(win_end);
+    } else {
+      // Chunked run_until calls process exactly the same events as one call
+      // — the feed reads counters between chunks without ever scheduling an
+      // engine event, so the simulation is untouched.
+      for (int q = 1; q <= 4; ++q) {
+        k.run_until(warm_end + cfg_.window * q / 4);
+        obs::ProgressEvent ev;
+        ev.kind = obs::ProgressEvent::Kind::kHostProgress;
+        ev.host = static_cast<int>(h);
+        ev.n_hosts = cfg_.n_hosts;
+        ev.fraction = static_cast<double>(q) / 4.0;
+        ev.completed = host.completed();
+        ev.shed = host.shed();
+        progress->emit(ev);
+      }
+    }
     k.run_until(win_end + cfg_.drain);
     host.stop();
     k.run_to_exit(k.now() + 1_s);
 
     o.latency = host.latency();
+    o.queueing = host.queueing();
+    o.service = host.service();
+    o.sched_delay = host.sched_delay();
     o.issued = host.issued();
     o.completed = host.completed();
     o.shed = host.shed();
     o.stats = k.stats();
     if (k.sampler().enabled()) {
       o.violated = k.watchdog().violations() != 0;
-      // Snapshot only what the merge can pick: host 0 (the representative)
-      // and violating hosts.
-      if (h == 0 || o.violated) {
-        o.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
-      }
+      // Every host's snapshot feeds the fleet aggregation (pre-PR 9 only a
+      // representative host survived the run).
+      o.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
+      const auto& refs = k.metric_registry().histograms();
+      o.reg_hists.reserve(refs.size());
+      for (const auto& r : refs) o.reg_hists.emplace_back(r.name, *r.hist);
+    }
+    if (progress != nullptr) {
+      obs::ProgressEvent ev;
+      ev.kind = obs::ProgressEvent::Kind::kHostFinish;
+      ev.host = static_cast<int>(h);
+      ev.n_hosts = cfg_.n_hosts;
+      ev.completed = o.completed;
+      ev.shed = o.shed;
+      ev.watchdog_violations =
+          k.sampler().enabled() ? k.watchdog().violations() : 0;
+      progress->emit(ev);
     }
   };
 
@@ -211,23 +273,64 @@ FleetResult ConnectionFleet::run() {
     ThreadPool::parallel_for(n_hosts, run_host, cfg_.jobs);
   }
 
-  // Merge in host order: aggregate counters and histograms commute, and the
-  // metrics pick (first violating host, else host 0) matches the sequential
-  // loop's choice exactly.
+  // Merge in host order: every reduction below walks hosts 0..n-1, so the
+  // result is independent of execution interleaving. The nominal simulated
+  // duration normalizes the per-host VB/BWD activity rates.
+  const double duration_s =
+      static_cast<double>(cfg_.warmup + cfg_.window + cfg_.drain) / 1e9;
+  obs::FleetAggregator agg;
+  std::size_t pick = 0;  // representative: first violating host, else host 0
+  bool have_violating = false;
+  res.host_stats.reserve(n_hosts);
   for (std::size_t h = 0; h < n_hosts; ++h) {
     HostOutcome& o = outcomes[h];
     res.latency.merge(o.latency);
+    res.queueing.merge(o.queueing);
+    res.service.merge(o.service);
+    res.sched_delay.merge(o.sched_delay);
     res.issued += o.issued;
     res.completed += o.completed;
     res.shed += o.shed;
-    if (h == 0) res.stats = o.stats;
-    if (o.metrics != nullptr) {
-      const bool have_violating =
-          res.metrics != nullptr && res.metrics->watchdog_violations != 0;
-      if (res.metrics == nullptr || (o.violated && !have_violating)) {
-        res.metrics = std::move(o.metrics);
-      }
+#define EO_FLEET_SUM(name) res.stats.name += o.stats.name;
+    EO_SCHED_STATS_FIELDS(EO_FLEET_SUM)
+#undef EO_FLEET_SUM
+    res.host_stats.push_back(o.stats);
+    if (o.violated && !have_violating) {
+      pick = h;
+      have_violating = true;
     }
+    if (o.metrics != nullptr) {
+      obs::FleetHostSample s;
+      s.host = static_cast<int>(h);
+      s.doc = o.metrics.get();
+      s.histograms.reserve(o.reg_hists.size() + 4);
+      for (const auto& [name, hist] : o.reg_hists) {
+        s.histograms.emplace_back(name, &hist);
+      }
+      s.histograms.emplace_back("serve.latency", &o.latency);
+      s.histograms.emplace_back("serve.queueing", &o.queueing);
+      s.histograms.emplace_back("serve.service", &o.service);
+      s.histograms.emplace_back("serve.sched_delay", &o.sched_delay);
+      s.issued = o.issued;
+      s.completed = o.completed;
+      s.shed = o.shed;
+      s.p99_ns = o.latency.p99();
+      s.queue_p99_ns = o.queueing.p99();
+      s.service_p99_ns = o.service.p99();
+      s.sched_delay_p99_ns = o.sched_delay.p99();
+      s.vb_park_rate = static_cast<double>(o.stats.vb_parks) / duration_s;
+      s.bwd_skip_rate =
+          static_cast<double>(o.stats.bwd_descheduled) / duration_s;
+      agg.add_host(s);
+    }
+  }
+  if (agg.n_hosts() > 0) {
+    res.fleet_metrics =
+        std::make_shared<obs::FleetMetricsDoc>(agg.finish());
+    // The single-doc pick keeps working for consumers that want one host's
+    // series; its violation ids get the same host tag the fleet doc carries.
+    res.metrics = std::make_shared<obs::MetricsDoc>(obs::tag_host_violations(
+        *outcomes[pick].metrics, static_cast<int>(pick)));
   }
   for (const Connection& c : conns_) {
     if (c.issued > 0) ++res.active_connections;

@@ -34,6 +34,8 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "kern/kernel.h"
+#include "obs/fleet_agg.h"
+#include "obs/progress.h"
 #include "traffic/arrival.h"
 
 namespace eo::traffic {
@@ -51,14 +53,18 @@ struct Connection {
 static_assert(sizeof(Connection) == 16, "per-connection record must stay packed");
 
 /// One in-flight request: a slot in the per-host slab. Free slots chain
-/// through `next_free`; live slots carry the arrival time and the
-/// connection index (bit 31 of conn_and_op flags a SET).
+/// through `next_free`; live slots carry the arrival and worker-dequeue
+/// timestamps and the connection index (bit 31 of conn_and_op flags a SET).
+/// The two timestamps are the latency-attribution record: arrival→dequeue is
+/// queueing delay, dequeue→completion is service (whose excess over the
+/// request's ideal CPU cost is scheduling delay).
 struct PendingRequest {
   SimTime arrival = 0;
+  SimTime dequeued = 0;
   std::uint32_t conn_and_op = 0;
   std::uint32_t next_free = 0;
 };
-static_assert(sizeof(PendingRequest) == 16, "request slot must stay packed");
+static_assert(sizeof(PendingRequest) == 24, "request slot must stay packed");
 
 struct ServeHostConfig {
   /// Worker threads blocking in epoll_wait (libevent style). The headline
@@ -97,11 +103,21 @@ class ServeHost {
   /// Asks workers to exit once the pending queue drains.
   void stop();
 
-  /// Opens the measurement window: clears the latency histogram and the
-  /// windowed counters (connection records keep accumulating).
+  /// Opens the measurement window: clears the latency/attribution
+  /// histograms and the windowed counters (connection records keep
+  /// accumulating).
   void begin_window();
 
   const Histogram& latency() const { return latency_; }
+  /// Arrival → worker dequeue: time spent waiting in the epoll ready queue.
+  const Histogram& queueing() const { return queueing_; }
+  /// Worker dequeue → completion: CPU cost plus any preemption the worker
+  /// suffered mid-request.
+  const Histogram& service() const { return service_; }
+  /// Service time minus the request's ideal CPU cost — the scheduler-induced
+  /// part of the latency, the observable that explains why VB/BWD moves the
+  /// SLO knee.
+  const Histogram& sched_delay() const { return sched_delay_; }
   std::uint64_t issued() const { return issued_; }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t shed() const { return shed_; }
@@ -126,11 +142,17 @@ class ServeHost {
   std::uint32_t free_head_ = kNoSlot;
   std::uint32_t live_slots_ = 0;
   SimTime inject_until_ = 0;
+  /// Ideal value-copy cost, precomputed once so the worker loop and the
+  /// attribution in complete() always agree on a request's ideal CPU cost.
+  SimDuration copy_cost_ = 0;
   // Windowed counters (begin_window resets them).
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t shed_ = 0;
   Histogram latency_;
+  Histogram queueing_;
+  Histogram service_;
+  Histogram sched_delay_;
 };
 
 struct FleetConfig {
@@ -151,11 +173,19 @@ struct FleetConfig {
   /// order, so the fleet result is identical for every `jobs` value (the
   /// serve_parallel_golden ctest pins this byte-for-byte).
   std::size_t jobs = 1;
+  /// Live progress feed (host started / window fraction / host finished).
+  /// Purely observational — attaching a sink never changes the result. Not
+  /// owned; must outlive run(). Null = no feed.
+  obs::ProgressSink* progress = nullptr;
 };
 
 /// Aggregated outcome of one fleet run (one offered-load point).
 struct FleetResult {
   Histogram latency;  ///< merged measurement-window latencies, all hosts
+  // Merged latency-attribution histograms (see the ServeHost accessors).
+  Histogram queueing;
+  Histogram service;
+  Histogram sched_delay;
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
@@ -163,12 +193,18 @@ struct FleetResult {
   /// Connections that carried at least one request over the whole run.
   std::uint64_t active_connections = 0;
   SimDuration window = 0;
-  /// Host 0's scheduler counters (representative; hosts are homogeneous).
+  /// Scheduler counters summed field-wise across every host.
   sched::SchedStats stats;
+  /// Per-host scheduler counters, host order (n_hosts entries).
+  std::vector<sched::SchedStats> host_stats;
   /// Telemetry of one host when sampling is enabled: the first host whose
   /// watchdog recorded a violation, else host 0 (so sweep-level checks see
-  /// failures anywhere in the fleet).
+  /// failures anywhere in the fleet). Violation ids carry a `host=<h>`
+  /// prefix.
   std::shared_ptr<obs::MetricsDoc> metrics;
+  /// The merged fleet document — every host's telemetry, per-host breakdown
+  /// included — when sampling is enabled, else null.
+  std::shared_ptr<obs::FleetMetricsDoc> fleet_metrics;
 };
 
 /// The fleet: owns the flat connection slab (all hosts, resident for the

@@ -18,6 +18,9 @@ SloPoint SloReporter::summarize(double offered_ops_s, const FleetResult& r,
   p.p50_us = static_cast<double>(r.latency.p50()) / 1e3;
   p.p99_us = static_cast<double>(r.latency.p99()) / 1e3;
   p.p999_us = static_cast<double>(r.latency.p999()) / 1e3;
+  p.queue_p99_us = static_cast<double>(r.queueing.p99()) / 1e3;
+  p.service_p99_us = static_cast<double>(r.service.p99()) / 1e3;
+  p.sched_delay_p99_us = static_cast<double>(r.sched_delay.p99()) / 1e3;
   return p;
 }
 
@@ -32,13 +35,17 @@ double SloReporter::max_load_within(double p99_slo_us) const {
 }
 
 void SloReporter::print(std::FILE* out) const {
-  std::fprintf(out, "%14s %14s %8s %10s %10s %10s %10s\n", "offered(ops/s)",
-               "achieved(ops/s)", "shed%", "mean(us)", "p50(us)", "p99(us)",
-               "p999(us)");
+  std::fprintf(out, "%14s %14s %8s %10s %10s %10s %10s %10s %10s %10s\n",
+               "offered(ops/s)", "achieved(ops/s)", "shed%", "mean(us)",
+               "p50(us)", "p99(us)", "p999(us)", "qp99(us)", "svcp99(us)",
+               "schp99(us)");
   for (const SloPoint& p : curve_) {
-    std::fprintf(out, "%14.0f %14.0f %7.2f%% %10.1f %10.1f %10.1f %10.1f\n",
+    std::fprintf(out,
+                 "%14.0f %14.0f %7.2f%% %10.1f %10.1f %10.1f %10.1f %10.1f "
+                 "%10.1f %10.1f\n",
                  p.offered_ops_s, p.achieved_ops_s, p.shed_fraction * 100.0,
-                 p.mean_us, p.p50_us, p.p99_us, p.p999_us);
+                 p.mean_us, p.p50_us, p.p99_us, p.p999_us, p.queue_p99_us,
+                 p.service_p99_us, p.sched_delay_p99_us);
   }
 }
 

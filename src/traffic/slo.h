@@ -28,6 +28,12 @@ struct SloPoint {
   double p50_us = 0;
   double p99_us = 0;
   double p999_us = 0;
+  // Where the tail went (p99 of each attribution histogram): queueing delay
+  // before a worker picked the request up, service time, and the
+  // scheduler-induced excess over the request's ideal CPU cost.
+  double queue_p99_us = 0;
+  double service_p99_us = 0;
+  double sched_delay_p99_us = 0;
   std::uint64_t completed = 0;
 };
 

@@ -3,12 +3,17 @@
 // stochastic workloads but not correctness.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "exp/result.h"
 #include "exp/runner.h"
 #include "exp/sweep.h"
 #include "metrics/experiment.h"
 #include "obs/export.h"
+#include "obs/fleet_agg.h"
+#include "obs/progress.h"
 #include "trace/export.h"
+#include "traffic/fleet.h"
 #include "workloads/memcached.h"
 #include "workloads/mutilate.h"
 #include "workloads/suite.h"
@@ -179,6 +184,49 @@ TEST(Determinism, IdenticalSeedByteIdenticalMetricsDoc) {
   EXPECT_EQ(a, b);
   std::string err;
   EXPECT_TRUE(obs::validate_metrics_json(a, &err)) << err;
+}
+
+// The fleet-telemetry property from src/obs/fleet_agg.h: the merged
+// eo-metrics-fleet document is a pure function of the per-host simulations —
+// byte-identical across reruns and host-thread counts, and unperturbed by a
+// live progress feed (which chunks each host's window to emit host_progress
+// events but schedules nothing in the engine).
+TEST(Determinism, FleetMetricsDocByteIdenticalAcrossJobsAndProgress) {
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  ASSERT_NE(devnull, nullptr);
+  auto render_fleet_doc = [](std::size_t jobs, obs::ProgressSink* sink) {
+    traffic::FleetConfig fc;
+    fc.n_hosts = 3;
+    fc.host.n_connections = 2048;
+    fc.host.max_pending = 1024;
+    fc.kernel.topo = hw::Topology::make_cores(4, 1);
+    fc.kernel.metrics.enabled = true;
+    fc.arrival.rate_per_sec =
+        0.8 * 4e9 / traffic::mean_request_cost_ns(fc.host);
+    fc.warmup = 2_ms;
+    fc.window = 8_ms;
+    fc.drain = 2_ms;
+    fc.seed = 99;
+    fc.jobs = jobs;
+    fc.progress = sink;
+    traffic::ConnectionFleet fleet(fc);
+    const traffic::FleetResult r = fleet.run();
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_NE(r.fleet_metrics, nullptr);
+    return r.fleet_metrics ? obs::render_fleet(*r.fleet_metrics, "json")
+                           : std::string();
+  };
+  obs::JsonlProgressSink jsonl(devnull);
+  const std::string a = render_fleet_doc(1, nullptr);
+  const std::string b = render_fleet_doc(1, nullptr);
+  const std::string c = render_fleet_doc(4, nullptr);
+  const std::string d = render_fleet_doc(4, &jsonl);
+  EXPECT_EQ(a, b);  // rerun with the same seed
+  EXPECT_EQ(a, c);  // host-thread fan-out must not change the document
+  EXPECT_EQ(a, d);  // the progress feed is pure observation
+  std::string err;
+  EXPECT_TRUE(obs::validate_fleet_metrics_json(a, &err)) << err;
+  std::fclose(devnull);
 }
 
 // Sampling must be pure observation: turning metrics on cannot perturb the

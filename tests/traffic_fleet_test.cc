@@ -57,6 +57,10 @@ double offered(const ServeHostConfig& hc, double frac) {
 }
 
 TEST(Fleet, RequestPathIsAllocationFreeWhenWarm) {
+  // Also covers the latency-attribution timestamps: stamping arrival/dequeue
+  // and recording the queueing/service/sched-delay histograms rides the same
+  // path, so the zero below proves attribution adds no steady-state
+  // allocations either.
   kern::KernelConfig kc;
   kc.topo = hw::Topology::make_cores(8, 1);
   kern::Kernel k(kc);
@@ -219,6 +223,32 @@ TEST(Fleet, ParallelRunMatchesSequential) {
   EXPECT_EQ(ra.metrics->watchdog_violations, 0u);
   EXPECT_EQ(ra.metrics->watchdog_checks, rb.metrics->watchdog_checks);
   EXPECT_EQ(ra.metrics->tick_series.size(), rb.metrics->tick_series.size());
+
+  // Every host survives aggregation: the summed stats equal the sum of the
+  // retained per-host entries (FleetResult used to drop all but one host).
+  ASSERT_EQ(ra.host_stats.size(), 4u);
+  std::uint64_t cs = 0, wakeups = 0;
+  for (const auto& s : ra.host_stats) {
+    cs += s.context_switches;
+    wakeups += s.wakeups;
+  }
+  EXPECT_EQ(cs, ra.stats.context_switches);
+  EXPECT_EQ(wakeups, ra.stats.wakeups);
+
+  // Attribution histograms cover exactly the completed requests.
+  EXPECT_EQ(ra.queueing.total_count(), ra.completed);
+  EXPECT_EQ(ra.service.total_count(), ra.completed);
+  EXPECT_EQ(ra.sched_delay.total_count(), ra.completed);
+
+  // The merged fleet document has every host and renders byte-identically
+  // whatever the jobs value — the contract serve_parallel_golden_fleet pins
+  // end to end.
+  ASSERT_NE(ra.fleet_metrics, nullptr);
+  ASSERT_NE(rb.fleet_metrics, nullptr);
+  EXPECT_EQ(ra.fleet_metrics->n_hosts, 4);
+  EXPECT_EQ(ra.fleet_metrics->hosts.size(), 4u);
+  EXPECT_EQ(obs::render_fleet(*ra.fleet_metrics, "json"),
+            obs::render_fleet(*rb.fleet_metrics, "json"));
 }
 
 }  // namespace

@@ -1,9 +1,10 @@
 // Footprint contract for the million-connection scenario: the per-connection
-// and per-request records are sized structs (16 bytes each), so a million
-// resident connections cost 16 MB and the request slab never exceeds
-// max_pending * 16 bytes per host. The static_asserts in traffic/fleet.h
-// catch growth at compile time; these tests pin the numbers in the ctest
-// report and check the derived slab arithmetic.
+// record is 16 bytes, so a million resident connections cost 16 MB; the
+// per-request slot is 24 bytes (arrival + dequeue timestamps for latency
+// attribution, plus the packed connection/op word), so the request slab
+// never exceeds max_pending * 24 bytes per host. The static_asserts in
+// traffic/fleet.h catch growth at compile time; these tests pin the numbers
+// in the ctest report and check the derived slab arithmetic.
 #include "traffic/fleet.h"
 
 #include <gtest/gtest.h>
@@ -16,8 +17,8 @@ TEST(TrafficSizeof, ConnectionRecordIs16Bytes) {
   EXPECT_LE(alignof(Connection), 4u);
 }
 
-TEST(TrafficSizeof, PendingRequestSlotIs16Bytes) {
-  EXPECT_EQ(sizeof(PendingRequest), 16u);
+TEST(TrafficSizeof, PendingRequestSlotIs24Bytes) {
+  EXPECT_EQ(sizeof(PendingRequest), 24u);
   EXPECT_LE(alignof(PendingRequest), 8u);
 }
 
