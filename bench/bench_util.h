@@ -7,7 +7,8 @@
 //           [--seed=N] [--sched=cfs|fifo|rr|pcfs] [--trace=<path>]
 //           [--trace-format=json|csv] [--trace-only] [--metrics[=<path>]]
 //           [--metrics-interval=<us>] [--metrics-format=json|csv|report]
-//           [--fleet-metrics[=<path>]] [--progress=none|line|jsonl] [--help]
+//           [--fleet-metrics[=<path>]] [--taskstats[=<path>]]
+//           [--progress=none|line|jsonl] [--help]
 //
 // The positional scale multiplies the simulated round counts, so
 // `./fig09_vb_blocking 1.0` runs the full-length experiment and the default
@@ -137,6 +138,28 @@ inline obs::SamplerConfig metrics_config(const Cli& cli) {
 /// Applies the --metrics* flags to a RunConfig (for benches building sweeps).
 inline void apply_metrics(const Cli& cli, metrics::RunConfig* cfg) {
   cfg->metrics = metrics_config(cli);
+  cfg->taskstats = cli.taskstats;
+}
+
+/// Exports the folded-stack state flamegraph when --taskstats=<path> was
+/// given. `workload` becomes the root frame. Returns true when no path was
+/// requested or the export succeeds.
+inline bool export_taskstats_folded(
+    const std::shared_ptr<obs::TaskstatsDoc>& doc, const Cli& cli,
+    const std::string& workload) {
+  if (cli.taskstats_path.empty()) return true;
+  if (!doc) {
+    std::fprintf(stderr, "taskstats: run captured no per-task accounting\n");
+    return false;
+  }
+  std::string err;
+  if (!obs::export_folded_to_file(*doc, workload, cli.taskstats_path, &err)) {
+    std::fprintf(stderr, "taskstats: export failed: %s\n", err.c_str());
+    return false;
+  }
+  std::printf("taskstats: wrote folded stacks for %zu task(s) to %s\n",
+              doc->tasks.size(), cli.taskstats_path.c_str());
+  return true;
 }
 
 /// Applies the --sched flag to a RunConfig, so every kernel the bench builds

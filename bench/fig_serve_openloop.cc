@@ -80,7 +80,8 @@ exp::CellRun run_one(
     const exp::Cell& cell, traffic::ArrivalKind kind, double load_frac,
     const metrics::RunConfig& cfg, std::uint64_t seed, double scale,
     std::size_t jobs, obs::ProgressSink* progress,
-    std::vector<std::shared_ptr<obs::FleetMetricsDoc>>* fleet_docs) {
+    std::vector<std::shared_ptr<obs::FleetMetricsDoc>>* fleet_docs,
+    std::vector<std::shared_ptr<obs::TaskstatsDoc>>* taskstats_docs) {
   const traffic::FleetConfig fc =
       fleet_config(kind, load_frac, cfg, seed, scale, jobs, progress);
   traffic::ConnectionFleet fleet(fc);
@@ -96,6 +97,17 @@ exp::CellRun run_one(
   // Cells write disjoint flat-indexed slots, so the parallel runner needs no
   // lock here and the slot layout is identical for every --jobs value.
   if (fleet_docs != nullptr) (*fleet_docs)[cell.flat] = fr.fleet_metrics;
+  if (taskstats_docs != nullptr) (*taskstats_docs)[cell.flat] = fr.taskstats;
+  if (cfg.taskstats) {
+    // The fleet-merged blame decomposition, pinned into the cell extras so
+    // the blame table is part of the golden-checked document (host-order
+    // merge keeps it byte-identical across --jobs values).
+    r.set("blame_requests", static_cast<double>(fr.blame.requests));
+#define EO_BLAME_EXTRA(name) \
+    r.set("blame_" #name "_ns", static_cast<double>(fr.blame.name));
+    EO_SERVE_BLAME_FIELDS(EO_BLAME_EXTRA)
+#undef EO_BLAME_EXTRA
+  }
   r.set("offered_ops_s", p.offered_ops_s)
       .set("achieved_ops_s", p.achieved_ops_s)
       .set("shed_pct", p.shed_fraction * 100.0)
@@ -159,13 +171,16 @@ int main(int argc, char** argv) {
 
   bench::print_header("serve_openloop",
                       "open-loop serving: offered load vs p99/p999");
-  std::vector<std::shared_ptr<obs::FleetMetricsDoc>> fleet_docs(
-      arrival_labels.size() * cfg_labels.size() * load_labels.size());
+  const std::size_t n_cells =
+      arrival_labels.size() * cfg_labels.size() * load_labels.size();
+  std::vector<std::shared_ptr<obs::FleetMetricsDoc>> fleet_docs(n_cells);
+  std::vector<std::shared_ptr<obs::TaskstatsDoc>> taskstats_docs(n_cells);
   const exp::Outcomes out = runner.run(
       [&](const exp::Cell& cell, const metrics::RunConfig& cfg) {
         return run_one(cell, kArrivals[cell.at(0)], kLoads[cell.at(2)].frac,
                        cfg, cli.seed, cli.scale, cli.jobs, sink.get(),
-                       cli.metrics ? &fleet_docs : nullptr);
+                       cli.metrics ? &fleet_docs : nullptr,
+                       cli.taskstats ? &taskstats_docs : nullptr);
       });
 
   for (std::size_t ai = 0; ai < kArrivals.size(); ++ai) {
@@ -211,6 +226,39 @@ int main(int argc, char** argv) {
                 "optimized %.2f Mops/s\n",
                 kSloUs, rep_van.max_load_within(kSloUs) / 1e6,
                 rep_opt.max_load_within(kSloUs) / 1e6);
+
+    if (cli.taskstats) {
+      // Critical-path blame: where each config's request latency goes, as a
+      // share of the summed latency over the window. Reading vanilla vs
+      // optimized side by side shows WHY p99 moves — wake_sleep (vanilla
+      // futex/epoll sleeps) turning into wake_park + smaller rq_wait under
+      // VB, or skip_delay appearing when BWD fires.
+      std::printf("\nlatency blame (%% of summed request latency):\n");
+      metrics::TablePrinter bt({"load", "config", "backlog", "wake_park",
+                                "wake_sleep", "rq_wait", "skip_delay",
+                                "service_cpu", "other"});
+      for (std::size_t li = 0; li < kLoads.size(); ++li) {
+        for (std::size_t ci = 0; ci < kCfgs.size(); ++ci) {
+          const exp::CellOutcome& o = out.at({ai, ci, li});
+          if (!o.ran()) continue;
+          double tot = 0;
+#define EO_BLAME_TOT(name) tot += o.value("blame_" #name "_ns");
+          EO_SERVE_BLAME_FIELDS(EO_BLAME_TOT)
+#undef EO_BLAME_TOT
+          const auto pct = [&](const char* key) {
+            return tot > 0 ? metrics::TablePrinter::num(
+                                 o.value(key) / tot * 100.0, 1)
+                           : std::string("-");
+          };
+          bt.add_row({kLoads[li].label, kCfgs[ci].label,
+                      pct("blame_backlog_ns"), pct("blame_wake_park_ns"),
+                      pct("blame_wake_sleep_ns"), pct("blame_rq_wait_ns"),
+                      pct("blame_skip_delay_ns"), pct("blame_service_cpu_ns"),
+                      pct("blame_other_ns")});
+        }
+      }
+      bt.print();
+    }
   }
 
   exp::ResultDoc doc(spec.id, cli.scale, cli.seed);
@@ -218,5 +266,16 @@ int main(int argc, char** argv) {
   bool ok = bench::write_results(cli, doc);
   ok = bench::check_sweep_metrics(out, cli) && ok;
   ok = bench::check_fleet_metrics(fleet_docs, out, cli) && ok;
+  if (!cli.taskstats_path.empty()) {
+    // Folded state flamegraph of the first ran cell's representative host.
+    std::shared_ptr<obs::TaskstatsDoc> rep;
+    for (const auto& o : out) {
+      if (o.ran() && taskstats_docs[o.cell.flat]) {
+        rep = taskstats_docs[o.cell.flat];
+        break;
+      }
+    }
+    ok = bench::export_taskstats_folded(rep, cli, "serve_openloop") && ok;
+  }
   return ok ? 0 : 1;
 }

@@ -7,7 +7,9 @@
 // processed, context switches); the host-side ns/op timings are volatile and
 // therefore reported in the document's `meta` block.
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "common/histogram.h"
@@ -266,13 +268,21 @@ int main(int argc, char** argv) {
       .id = "simcore_microbench",
       .summary = "host-performance microbenchmarks of the simulator core",
       .default_scale = 1.0};
-  // --gate is this bench's own flag (the uniform Cli rejects unknown
-  // arguments): strip it before parsing.
+  // --gate and --stamp=<label> are this bench's own flags (the uniform Cli
+  // rejects unknown arguments): strip them before parsing. --stamp labels
+  // the perf-trajectory history entry recorded on gated runs.
   bool gate = false;
+  std::string stamp = "unstamped";
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--gate") {
+    const std::string a(argv[i]);
+    if (a == "--gate") {
       gate = true;
+      continue;
+    }
+    if (a.rfind("--stamp=", 0) == 0) {
+      stamp = a.substr(8);
+      if (stamp.empty()) stamp = "unstamped";
       continue;
     }
     args.push_back(argv[i]);
@@ -373,6 +383,31 @@ int main(int argc, char** argv) {
     if (!gate_ok) {
       std::fprintf(stderr,
                    "gate: simulator hot-path regression (see limits above)\n");
+    }
+    // Gated runs record a perf-trajectory point under meta.history: prior
+    // entries are carried forward from any existing document at --json's
+    // path (capped at ResultDoc::kMaxHistory), then this run's gated
+    // ns/item numbers are appended, stamped with the revision and --stamp.
+    if (!cli.json_path.empty()) {
+      std::ifstream prev(cli.json_path, std::ios::binary);
+      if (prev) {
+        std::ostringstream buf;
+        buf << prev.rdbuf();
+        for (auto& e : exp::parse_history(buf.str())) {
+          doc.add_history(std::move(e));
+        }
+      }
+      exp::PerfHistoryEntry e;
+      e.git_rev = exp::current_git_rev();
+      e.stamp = stamp;
+      for (const GateLimit& gl : kGates) {
+        for (std::size_t i = 0; i < kMicros.size(); ++i) {
+          if (std::string(kMicros[i].name) == gl.name && out.at({i}).ran()) {
+            e.ns_per_item.emplace_back(gl.name, host_ns_per_item[i]);
+          }
+        }
+      }
+      doc.add_history(std::move(e));
     }
   }
   return bench::write_results(cli, doc) && gate_ok ? 0 : 1;

@@ -101,7 +101,13 @@ std::string Cli::usage(const CliSpec& spec) {
           "--metrics);\n"
           "                       with a path, export the merged document\n";
   }
-  os << "  --progress=MODE      live progress feed: none|line|jsonl "
+  os << "  --taskstats[=<path>] per-task delay accounting: embed the "
+        "eo-taskstats\n"
+        "                       section in metrics documents (implies "
+        "--metrics);\n"
+        "                       with a path, export a folded state "
+        "flamegraph\n"
+     << "  --progress=MODE      live progress feed: none|line|jsonl "
         "(default line)\n"
      << "  --help               show this help\n";
   return os.str();
@@ -199,6 +205,17 @@ bool Cli::parse_into(int argc, char** argv, const CliSpec& spec, Cli* out,
       out->fleet_metrics_path = arg.substr(16);
       if (out->fleet_metrics_path.empty()) {
         *err = "empty --fleet-metrics= path";
+        return false;
+      }
+    } else if (arg == "--taskstats") {
+      out->taskstats = true;
+      out->metrics = true;
+    } else if (arg.rfind("--taskstats=", 0) == 0) {
+      out->taskstats = true;
+      out->metrics = true;
+      out->taskstats_path = arg.substr(12);
+      if (out->taskstats_path.empty()) {
+        *err = "empty --taskstats= path";
         return false;
       }
     } else if (arg.rfind("--progress=", 0) == 0) {

@@ -4,7 +4,7 @@
 //           [--seed=N] [--sched=cfs|fifo|rr|pcfs] [--trace=<path>]
 //           [--trace-format=json|csv] [--trace-only] [--metrics[=<path>]]
 //           [--metrics-interval=<us>] [--metrics-format=json|csv|report]
-//           [--help]
+//           [--taskstats[=<path>]] [--help]
 //
 // The positional `scale` multiplies the simulated work (rounds, requests);
 // it must be a plain positive number — `0.5x` or `abc` are errors, not
@@ -67,6 +67,11 @@ class Cli {
   /// --metrics.
   bool fleet_metrics = false;
   std::string fleet_metrics_path;  ///< empty = no standalone export
+  /// Per-task delay accounting (--taskstats): embed the `eo-taskstats`
+  /// section in every exported metrics document; with a path, additionally
+  /// export a folded-stack state flamegraph there. Implies --metrics.
+  bool taskstats = false;
+  std::string taskstats_path;  ///< empty = no folded-stack export
 
   bool tracing() const { return !trace_path.empty(); }
 

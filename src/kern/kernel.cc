@@ -112,6 +112,7 @@ void Kernel::start_task(Task* t, int cpu) {
   }
   EO_CHECK(core(cpu).online);
   t->state = TaskState::kRunnable;
+  t->delay.start(now(), obs::TaskDelayState::kRunnable);
   t->last_cpu = cpu;
   ++live_tasks_;
   Core& c = core(cpu);
@@ -228,6 +229,12 @@ void Kernel::set_online_cores(int n) {
                      static_cast<std::uint64_t>(dst));
       // Rehome at the destination's fairness floor, like a fresh arrival.
       policy_->place_fresh(dst, se);
+      // Post-migration queue wait is attributed to kMigrating until the
+      // task first runs at the destination; VB-parked evictees keep their
+      // park attribution (they are not waiting for the CPU).
+      if (!se->vb_blocked) {
+        t->delay.transition(now(), obs::TaskDelayState::kMigrating);
+      }
       kick(d);
     }
   }
@@ -358,6 +365,43 @@ void Kernel::collect_sample(obs::CoreSample* cores,
   g->migrations = stats_.total_migrations();
   g->vb_parks = stats_.vb_parks;
   g->vb_unparks = stats_.vb_unparks;
+  // Taskstats conservation + consistency cross-check, fed to the watchdog.
+  // Conservation (state times sum to lifetime) is necessary; the kernel-state
+  // mapping makes the check non-vacuous: a transition hook wired to the wrong
+  // call site shows up as a delay state the kernel state forbids.
+  g->taskstats_bad = 0;
+  for (const auto& tp : tasks_) {
+    const Task& t = *tp;
+    bool ok = t.delay.conserved(now());
+    if (obs::kTaskstatsEnabled && ok) {
+      switch (t.state) {
+        case TaskState::kNew:
+          ok = !t.delay.started();
+          break;
+        case TaskState::kRunnable:
+          ok = t.delay.started() && !t.delay.finished() &&
+               (t.delay.state() == obs::TaskDelayState::kRunnable ||
+                t.delay.state() == obs::TaskDelayState::kVbParked ||
+                t.delay.state() == obs::TaskDelayState::kBwdSkipDelayed ||
+                t.delay.state() == obs::TaskDelayState::kMigrating);
+          break;
+        case TaskState::kRunning:
+          ok = t.delay.started() && !t.delay.finished() &&
+               t.delay.state() == obs::TaskDelayState::kOncpu;
+          break;
+        case TaskState::kSleeping:
+          ok = t.delay.started() && !t.delay.finished() &&
+               (t.delay.state() == obs::TaskDelayState::kFutexBlocked ||
+                t.delay.state() == obs::TaskDelayState::kEpollBlocked ||
+                t.delay.state() == obs::TaskDelayState::kSleeping);
+          break;
+        case TaskState::kExited:
+          ok = t.delay.finished();
+          break;
+      }
+    }
+    if (!ok) ++g->taskstats_bad;
+  }
 }
 
 obs::MetricsDoc Kernel::snapshot_metrics() const {
@@ -375,6 +419,27 @@ obs::MetricsDoc Kernel::snapshot_metrics() const {
   doc.watchdog_checks = watchdog_.checks();
   doc.watchdog_violations = watchdog_.violations();
   doc.violation_records = watchdog_.records();
+  if (cfg_.taskstats) {
+    doc.taskstats =
+        std::make_shared<obs::TaskstatsDoc>(snapshot_taskstats());
+  }
+  return doc;
+}
+
+obs::TaskstatsDoc Kernel::snapshot_taskstats() const {
+  obs::TaskstatsDoc doc;
+  doc.tasks.reserve(tasks_.size());
+  for (const auto& tp : tasks_) {
+    const Task& t = *tp;
+    if (!t.delay.started()) continue;
+    obs::TaskstatsRecord r;
+    r.tid = static_cast<std::uint64_t>(t.tid);
+    r.name = t.name;
+    r.finished = t.delay.finished();
+    r.lifetime = t.delay.lifetime(now());
+    r.times = t.delay.snapshot(now());
+    doc.tasks.push_back(std::move(r));
+  }
   return doc;
 }
 
@@ -528,6 +593,9 @@ void Kernel::schedule(Core& c) {
   c.last_task = t;
   c.current = t;
   t->state = TaskState::kRunning;
+  // Time on a core is on-CPU time, including the switch-in cost below and VB
+  // flag-check quanta — the paper's direct oversubscription cost.
+  t->delay.transition(now(), obs::TaskDelayState::kOncpu);
   t->last_cpu = c.id;
   c.in_switch = true;
   set_segment(c, hw::SegmentKind::kRegular, hw::kVariedSites, false);
@@ -874,7 +942,16 @@ void Kernel::deschedule_current(Core& c, bool requeue, bool voluntary) {
   policy_->put_prev(c.id, &t->se);
   if (requeue) {
     t->state = TaskState::kRunnable;
+    // A VB-parked task back on the queue waits in kVbParked; otherwise this
+    // is plain runqueue wait. Callers that requeue for a different reason
+    // (BWD skip, VB park-in-progress) refine the state right after, at the
+    // same timestamp, so no time is misattributed.
+    t->delay.transition(now(), t->se.vb_blocked
+                                   ? obs::TaskDelayState::kVbParked
+                                   : obs::TaskDelayState::kRunnable);
   } else {
+    // Blocking/exit paths: the caller sets the task's new state (and its
+    // delay state) immediately after.
     policy_->dequeue(c.id, &t->se);
   }
   c.current = nullptr;
@@ -1016,12 +1093,14 @@ bool Kernel::handle_futex_wait(Core& c, Task* t, const FutexWaitAction& a) {
     t->overhead += cost + cfg_.costs.vb_park;
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
     policy_->vb_park(c.id, &t->se);
+    t->delay.transition(now(), obs::TaskDelayState::kVbParked);
   } else {
     ++stats_.futex_sleeps;
     if (!vb && cfg_.features.vb_futex) ++stats_.vb_fallback_vanilla;
     t->overhead += cost + cfg_.costs.futex_wait_setup;
     deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
     t->state = TaskState::kSleeping;
+    t->delay.transition(now(), obs::TaskDelayState::kFutexBlocked);
   }
   schedule(c);
   return false;
@@ -1174,7 +1253,8 @@ SimDuration Kernel::wake_task_vanilla(Task* t) {
   Core& tc = core(cpu);
   cost += tc.rq_lock.acquire(now(), cfg_.costs.rq_lock_hold) +
           cfg_.costs.rq_lock_hold;
-  if (t->last_cpu >= 0 && cpu != t->last_cpu) {
+  const bool wake_migrated = t->last_cpu >= 0 && cpu != t->last_cpu;
+  if (wake_migrated) {
     ++stats_.wakeup_migrations;
     const bool cross = !cfg_.topo.same_socket(cpu, t->last_cpu);
     (cross ? stats_.migrations_cross_node : stats_.migrations_in_node)++;
@@ -1188,6 +1268,10 @@ SimDuration Kernel::wake_task_vanilla(Task* t) {
                    static_cast<std::uint64_t>(cpu));
   }
   t->state = TaskState::kRunnable;
+  // Cross-CPU wakeup placements charge the post-wake queue wait to
+  // kMigrating (the cache-cold dispatch delay); same-CPU wakes to kRunnable.
+  t->delay.transition(now(), wake_migrated ? obs::TaskDelayState::kMigrating
+                                           : obs::TaskDelayState::kRunnable);
   t->last_cpu = cpu;
   t->runnable_since = now();
   EO_TRACE_EVENT(&tracer_, cpu, trace::EventKind::kWakeup, t->tid,
@@ -1213,10 +1297,13 @@ SimDuration Kernel::wake_task_vb(Task* t) {
                  static_cast<std::uint64_t>(t->se.cpu), 1);
   if (tc.current == t) {
     // Mid flag-check quantum: clear in place; the quantum event resumes it.
+    // The task is on a core, so its delay state is already kOncpu.
     policy_->vb_clear_current(tc.id, &t->se);
   } else {
     policy_->vb_unpark(tc.id, &t->se);
     t->state = TaskState::kRunnable;
+    // Unparked: the remaining queue wait is ordinary rq wait, not park time.
+    t->delay.transition(now(), obs::TaskDelayState::kRunnable);
     maybe_preempt(tc, &t->se);
   }
   return cfg_.costs.vb_unpark;
@@ -1254,11 +1341,13 @@ bool Kernel::handle_epoll_wait(Core& c, Task* t, const EpollWaitAction& a) {
     t->overhead += cost + cfg_.costs.vb_park;
     deschedule_current(c, /*requeue=*/true, /*voluntary=*/true);
     policy_->vb_park(c.id, &t->se);
+    t->delay.transition(now(), obs::TaskDelayState::kVbParked);
   } else {
     ++stats_.futex_sleeps;
     t->overhead += cost + cfg_.costs.futex_wait_setup;
     deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
     t->state = TaskState::kSleeping;
+    t->delay.transition(now(), obs::TaskDelayState::kEpollBlocked);
   }
   schedule(c);
   return false;
@@ -1326,6 +1415,7 @@ void Kernel::handle_sleep(Core& c, Task* t, const SleepAction& a) {
                  0);
   deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
   t->state = TaskState::kSleeping;
+  t->delay.transition(now(), obs::TaskDelayState::kSleeping);
   const SimDuration d = std::max<SimDuration>(a.duration, 1);
   engine_.schedule_after(d, [this, t] {
     if (t->state != TaskState::kSleeping) return;
@@ -1339,6 +1429,9 @@ void Kernel::handle_exit(Core& c, Task* t) {
   EO_TRACE_EVENT(&tracer_, c.id, trace::EventKind::kTaskExit, t->tid, 0, 0);
   deschedule_current(c, /*requeue=*/false, /*voluntary=*/true);
   t->state = TaskState::kExited;
+  // The final interval (still kOncpu: exit happens from the CPU) is charged
+  // and the record sealed; lifetime is now fixed.
+  t->delay.finish(now());
   --live_tasks_;
   if (live_tasks_ == 0) last_exit_time_ = now();
   schedule(c);
@@ -1367,6 +1460,10 @@ void Kernel::bwd_timer_fire(Core& c) {
                      verdict.ground_truth_spin ? 1u : 0u, 0);
       deschedule_current(c, /*requeue=*/true, /*voluntary=*/false);
       policy_->bwd_mark_skip(c.id, &t->se);
+      // The whole delay a detection induces — from the skip mark until the
+      // task next gets the CPU — is attributed to the skip, even after the
+      // skip window itself expires.
+      t->delay.transition(now(), obs::TaskDelayState::kBwdSkipDelayed);
       schedule(c);
     }
   }
@@ -1412,6 +1509,11 @@ void Kernel::apply_migration(const sched::BalanceDecision& d) {
                  static_cast<std::uint64_t>(d.dst_cpu));
   // Translate the victim into the destination queue's fairness window.
   policy_->place_migrated(d.src_cpu, d.dst_cpu, d.victim);
+  // Queue wait at the destination until first dispatch is kMigrating;
+  // VB-parked victims keep their park attribution.
+  if (!t->se.vb_blocked) {
+    t->delay.transition(now(), obs::TaskDelayState::kMigrating);
+  }
   kick(dst);
 }
 

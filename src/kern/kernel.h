@@ -68,6 +68,12 @@ struct KernelConfig {
   trace::TraceConfig trace;
   /// Live telemetry sampling (sim-top); disabled by default.
   obs::SamplerConfig metrics;
+  /// Export the per-task delay accounting (sim-taskstats) as an
+  /// `eo-taskstats` section of the metrics snapshot. The accounting itself
+  /// is always maintained when metrics are compiled in (it is pure
+  /// bookkeeping and never perturbs the simulation); this flag only gates
+  /// the export.
+  bool taskstats = false;
 };
 
 /// Per-core utilization/diagnostic counters.
@@ -149,6 +155,10 @@ class Kernel {
   /// Registry values, retained time series, and the watchdog verdict, ready
   /// for the obs exporters.
   obs::MetricsDoc snapshot_metrics() const;
+  /// Per-task delay accounting snapshot (one record per task, creation
+  /// order); open intervals are charged to the current state, so every
+  /// record satisfies the conservation invariant at `now()`.
+  obs::TaskstatsDoc snapshot_taskstats() const;
 
   // --- metrics ---
   const sched::SchedStats& stats() const { return stats_; }

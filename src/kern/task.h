@@ -14,6 +14,7 @@
 #include "futex/waiter_link.h"
 #include "hw/cache_model.h"
 #include "kern/action.h"
+#include "obs/taskstats.h"
 #include "sched/entity.h"
 
 namespace eo::kern {
@@ -103,6 +104,12 @@ struct Task {
   SimTime runnable_since = -1;
 
   TaskStats stats;
+
+  /// Per-state delay accounting (sim-taskstats): every instant of the task's
+  /// lifetime is attributed to exactly one obs::TaskDelayState. Updated at
+  /// the kernel's state-transition points; the sampler cross-checks the
+  /// conservation invariant (state times sum to lifetime) on every tick.
+  obs::TaskDelayAcct delay;
 
   /// Keeps the thread-function object (lambda captures) alive for the
   /// coroutine frame's lifetime.

@@ -17,6 +17,7 @@ kern::KernelConfig make_kernel_config(const RunConfig& cfg) {
   kc.ref_footprint = cfg.ref_footprint;
   kc.trace = cfg.trace;
   kc.metrics = cfg.metrics;
+  kc.taskstats = cfg.taskstats;
   return kc;
 }
 
@@ -38,6 +39,9 @@ RunResult run_experiment(const RunConfig& cfg,
   }
   if (k.sampler().enabled()) {
     r.metrics = std::make_shared<obs::MetricsDoc>(k.snapshot_metrics());
+  }
+  if (cfg.taskstats) {
+    r.taskstats = std::make_shared<obs::TaskstatsDoc>(k.snapshot_taskstats());
   }
   return r;
 }

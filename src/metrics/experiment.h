@@ -41,6 +41,9 @@ struct RunConfig {
   trace::TraceConfig trace;
   /// Live telemetry; when enabled the result carries the eo-metrics doc.
   obs::SamplerConfig metrics;
+  /// Per-task delay accounting export: embed the `eo-taskstats` section in
+  /// the metrics doc and carry the standalone snapshot in the result.
+  bool taskstats = false;
 };
 
 struct RunResult {
@@ -57,6 +60,8 @@ struct RunResult {
   std::shared_ptr<trace::Trace> trace;
   /// Telemetry snapshot; null unless cfg.metrics.enabled.
   std::shared_ptr<obs::MetricsDoc> metrics;
+  /// Per-task delay accounting snapshot; null unless cfg.taskstats.
+  std::shared_ptr<obs::TaskstatsDoc> taskstats;
 };
 
 /// Builds a kernel per `cfg`, lets `setup` spawn the workload, runs to

@@ -118,6 +118,11 @@ void render_json(const MetricsDoc& doc, std::ostream& os) {
   }
   w.end_array();
   w.end_object();  // watchdog
+
+  if (doc.taskstats != nullptr) {
+    w.key("taskstats");
+    write_taskstats_json(w, *doc.taskstats);
+  }
   w.end_object();
   os << "\n";
 }
@@ -382,6 +387,11 @@ bool validate_metrics_json(const std::string& text, std::string* err) {
       return fail(err, "watchdog record missing string 'invariant'");
     }
   }
+
+  // Optional embedded `eo-taskstats` section (present when the run asked for
+  // per-task delay accounting export).
+  const json::Value* ts = root.get("taskstats");
+  if (ts != nullptr && !validate_taskstats_value(*ts, err)) return false;
   return true;
 }
 

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/taskstats.h"
 #include "obs/watchdog.h"
 
 namespace eo::obs {
@@ -57,6 +59,10 @@ struct MetricsDoc {
   std::uint64_t watchdog_checks = 0;
   std::uint64_t watchdog_violations = 0;
   std::vector<Violation> violation_records;
+  /// Optional per-task delay accounting (`eo-taskstats` section); null when
+  /// the run did not request taskstats export. Shared so fleet snapshots can
+  /// reference a host's doc without copying every task record.
+  std::shared_ptr<TaskstatsDoc> taskstats;
 };
 
 /// Builds the export-time summary of `hist` under `name` — the one

@@ -58,6 +58,10 @@ struct GlobalSample {
   std::uint64_t migrations = 0;
   std::uint64_t vb_parks = 0;
   std::uint64_t vb_unparks = 0;
+  /// Tasks whose per-state delay accounting fails conservation (state times
+  /// must sum to lifetime) or disagrees with the kernel task state. Must be
+  /// zero; the watchdog reports any other value as a violation.
+  std::uint64_t taskstats_bad = 0;
 };
 
 /// One retained time-series point (the global half; per-core halves are

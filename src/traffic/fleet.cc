@@ -53,26 +53,35 @@ ServeHost::ServeHost(kern::Kernel& k, const ServeHostConfig& cfg,
 
 void ServeHost::start(SimTime inject_until) {
   inject_until_ = inject_until;
+  marks_.resize(static_cast<std::size_t>(cfg_.n_workers));
   for (int i = 0; i < cfg_.n_workers; ++i) {
     ServeHost* self = this;
     runtime::spawn(k_, "serve-worker-" + std::to_string(i),
-                   [self](Env env) -> SimThread {
+                   [self, i](Env env) -> SimThread {
                      const ServeHostConfig& c = self->cfg_;
                      const SimDuration copy_cost = self->copy_cost_;
+                     WorkerMark& m = self->marks_[static_cast<std::size_t>(i)];
                      for (;;) {
+                       // Critical-path mark: the worker's delay-state clock
+                       // just before it waits. The dequeue-time delta over
+                       // this mark is the request's wake-side blame.
+                       m.wait_at = env.now();
+                       m.wait_snap = env.task().delay.snapshot(m.wait_at);
                        const std::uint64_t ev =
                            co_await env.epoll_wait(self->epfd_);
                        if (ev == kStopEvent) break;
                        const auto slot = static_cast<std::uint32_t>(ev);
                        PendingRequest& req = self->slab_[slot];
                        req.dequeued = env.now();
+                       m.deq_snap = env.task().delay.snapshot(req.dequeued);
                        const bool is_set = (req.conn_and_op & kOpSetBit) != 0;
                        co_await env.compute(c.parse_cost);
                        co_await env.compute(c.lookup_cost);
                        co_await env.compute(is_set
                                                 ? c.set_extra_cost + copy_cost
                                                 : copy_cost);
-                       self->complete(slot, env.now());
+                       self->complete(slot, env.now(), i,
+                                      env.task().delay.snapshot(env.now()));
                      }
                      co_return;
                    });
@@ -111,11 +120,54 @@ void ServeHost::inject(SimTime now) {
   k_.epoll_post_external(epfd_, slot);
 }
 
-void ServeHost::complete(std::uint32_t slot, SimTime now) {
+void ServeHost::complete(std::uint32_t slot, SimTime now, int worker,
+                         const obs::TaskDelaySnapshot& done_snap) {
   PendingRequest& req = slab_[slot];
   const std::uint32_t ci = req.conn_and_op & ~kOpSetBit;
   const SimDuration lat = now - req.arrival;
   latency_.add(lat);
+  if (obs::kTaskstatsEnabled) {
+    // Critical-path blame: decompose this request's latency into the serving
+    // worker's delay states. The wake window [wait_at, dequeued) and service
+    // window [dequeued, now) are continuous spans of the worker's life, so
+    // the snapshot-delta totals equal the window lengths exactly and the
+    // categories below sum to `lat` by integer arithmetic.
+    using S = obs::TaskDelayState;
+    const WorkerMark& m = marks_[static_cast<std::size_t>(worker)];
+    obs::TaskDelaySnapshot wake =
+        obs::TaskDelaySnapshot::delta(m.deq_snap, m.wait_snap);
+    const obs::TaskDelaySnapshot svc =
+        obs::TaskDelaySnapshot::delta(done_snap, m.deq_snap);
+    // Time the worker spent in the wake window before this request even
+    // arrived is not the request's delay: subtract it from the blocked
+    // states first (park, then sleep — the worker was blocked while idle),
+    // spilling into the rest only if blocked time cannot cover it.
+    SimDuration pre = req.arrival > m.wait_at ? req.arrival - m.wait_at : 0;
+    for (const S s : {S::kVbParked, S::kEpollBlocked, S::kSleeping,
+                      S::kFutexBlocked, S::kRunnable, S::kMigrating,
+                      S::kBwdSkipDelayed, S::kOncpu}) {
+      if (pre <= 0) break;
+      SimDuration& w = wake.t[static_cast<std::size_t>(s)];
+      const SimDuration take = w < pre ? w : pre;
+      w -= take;
+      pre -= take;
+    }
+    ++blame_.requests;
+    blame_.backlog += m.wait_at > req.arrival ? m.wait_at - req.arrival : 0;
+    blame_.wake_park += wake[S::kVbParked];
+    blame_.wake_sleep +=
+        wake[S::kEpollBlocked] + wake[S::kSleeping] + wake[S::kFutexBlocked];
+    blame_.rq_wait += wake[S::kRunnable] + wake[S::kMigrating] +
+                      svc[S::kRunnable] + svc[S::kMigrating];
+    blame_.skip_delay += wake[S::kBwdSkipDelayed] + svc[S::kBwdSkipDelayed];
+    blame_.service_cpu += svc[S::kOncpu];
+    // Wake-side on-CPU time (epoll-entry overhead before the block) plus any
+    // service-side blocked time (impossible for these workers, but counted
+    // rather than dropped so the sum stays exact).
+    blame_.other += wake[S::kOncpu] + svc[S::kVbParked] +
+                    svc[S::kEpollBlocked] + svc[S::kSleeping] +
+                    svc[S::kFutexBlocked];
+  }
   // Attribution: queueing is epoll-ready-queue wait, service is everything
   // after the worker picked the request up, and scheduling delay is the
   // service time's excess over the request's ideal CPU cost (preemptions,
@@ -151,6 +203,7 @@ void ServeHost::begin_window() {
   issued_ = 0;
   completed_ = 0;
   shed_ = 0;
+  blame_ = BlameBreakdown{};
 }
 
 ConnectionFleet::ConnectionFleet(const FleetConfig& cfg) : cfg_(cfg) {
@@ -182,8 +235,10 @@ FleetResult ConnectionFleet::run() {
     std::uint64_t completed = 0;
     std::uint64_t shed = 0;
     sched::SchedStats stats;
+    BlameBreakdown blame;
     bool violated = false;
     std::shared_ptr<obs::MetricsDoc> metrics;
+    std::shared_ptr<obs::TaskstatsDoc> taskstats;
     /// Raw registry histograms, copied while the kernel was alive (the doc
     /// only carries quantile summaries, which do not merge).
     std::vector<std::pair<std::string, Histogram>> reg_hists;
@@ -245,6 +300,7 @@ FleetResult ConnectionFleet::run() {
     o.completed = host.completed();
     o.shed = host.shed();
     o.stats = k.stats();
+    o.blame = host.blame();
     if (k.sampler().enabled()) {
       o.violated = k.watchdog().violations() != 0;
       // Every host's snapshot feeds the fleet aggregation (pre-PR 9 only a
@@ -253,6 +309,23 @@ FleetResult ConnectionFleet::run() {
       const auto& refs = k.metric_registry().histograms();
       o.reg_hists.reserve(refs.size());
       for (const auto& r : refs) o.reg_hists.emplace_back(r.name, *r.hist);
+      if (kc.taskstats) {
+        // Blame rides the host document as plain counters — same names in
+        // the same order on every host, so the fleet aggregator sums them
+        // field-wise without knowing the struct.
+        o.metrics->counters.push_back(
+            {"serve.blame.requests", o.blame.requests});
+#define EO_BLAME_COUNTER(name)              \
+        o.metrics->counters.push_back(      \
+            {"serve.blame." #name,          \
+             static_cast<std::uint64_t>(o.blame.name)});
+        EO_SERVE_BLAME_FIELDS(EO_BLAME_COUNTER)
+#undef EO_BLAME_COUNTER
+      }
+    }
+    if (kc.taskstats) {
+      o.taskstats =
+          std::make_shared<obs::TaskstatsDoc>(k.snapshot_taskstats());
     }
     if (progress != nullptr) {
       obs::ProgressEvent ev;
@@ -291,6 +364,8 @@ FleetResult ConnectionFleet::run() {
     res.issued += o.issued;
     res.completed += o.completed;
     res.shed += o.shed;
+    res.blame.merge(o.blame);
+    res.host_blames.push_back(o.blame);
 #define EO_FLEET_SUM(name) res.stats.name += o.stats.name;
     EO_SCHED_STATS_FIELDS(EO_FLEET_SUM)
 #undef EO_FLEET_SUM
@@ -331,6 +406,9 @@ FleetResult ConnectionFleet::run() {
     // series; its violation ids get the same host tag the fleet doc carries.
     res.metrics = std::make_shared<obs::MetricsDoc>(obs::tag_host_violations(
         *outcomes[pick].metrics, static_cast<int>(pick)));
+  }
+  if (outcomes[pick].taskstats != nullptr) {
+    res.taskstats = outcomes[pick].taskstats;
   }
   for (const Connection& c : conns_) {
     if (c.issued > 0) ++res.active_connections;

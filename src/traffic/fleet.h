@@ -36,9 +36,61 @@
 #include "kern/kernel.h"
 #include "obs/fleet_agg.h"
 #include "obs/progress.h"
+#include "obs/taskstats.h"
 #include "traffic/arrival.h"
 
 namespace eo::traffic {
+
+/// X-macro over the request-latency blame categories (critical-path
+/// analyzer). Keeps the struct, the merge, the exported counters, and the
+/// bench table in sync.
+#define EO_SERVE_BLAME_FIELDS(X) \
+  X(backlog)                     \
+  X(wake_park)                   \
+  X(wake_sleep)                  \
+  X(rq_wait)                     \
+  X(skip_delay)                  \
+  X(service_cpu)                 \
+  X(other)
+
+/// Critical-path decomposition of completed-request latency: each request's
+/// arrival-to-completion time is split, exactly and by integer arithmetic,
+/// into the delay states of the worker that served it (via
+/// `obs::TaskDelaySnapshot` deltas around the epoll wait and the service
+/// span):
+///  * `backlog`     — the request sat in the ready queue while its eventual
+///                    worker was still serving earlier requests;
+///  * `wake_park`   — worker VB-parked between this request's arrival and
+///                    its dequeue (the VB wake path's contribution);
+///  * `wake_sleep`  — worker vanilla-blocked in epoll over the same span;
+///  * `rq_wait`     — worker on a runqueue waiting for a core (wake-side and
+///                    mid-service, including post-migration wait);
+///  * `skip_delay`  — worker delayed by a BWD schedule-skip;
+///  * `service_cpu` — worker on-CPU executing the request;
+///  * `other`       — everything else (epoll-entry overhead on the wake
+///                    side, i.e. on-CPU time before the worker blocked).
+/// The categories sum to the summed latency of the counted requests, so the
+/// blame table explains exactly where p99 movement under VB/BWD comes from.
+struct BlameBreakdown {
+  std::uint64_t requests = 0;
+#define EO_BLAME_FIELD(name) SimDuration name = 0;
+  EO_SERVE_BLAME_FIELDS(EO_BLAME_FIELD)
+#undef EO_BLAME_FIELD
+
+  SimDuration total() const {
+    SimDuration sum = 0;
+#define EO_BLAME_SUM(name) sum += name;
+    EO_SERVE_BLAME_FIELDS(EO_BLAME_SUM)
+#undef EO_BLAME_SUM
+    return sum;
+  }
+  void merge(const BlameBreakdown& o) {
+    requests += o.requests;
+#define EO_BLAME_MERGE(name) name += o.name;
+    EO_SERVE_BLAME_FIELDS(EO_BLAME_MERGE)
+#undef EO_BLAME_MERGE
+  }
+};
 
 /// Packed per-connection record. The million-connection scenario keeps one
 /// of these per simulated connection resident, so the size is a contract
@@ -124,13 +176,26 @@ class ServeHost {
   /// Request slots currently in flight.
   std::uint32_t pending() const { return live_slots_; }
   int epoll_fd() const { return epfd_; }
+  /// Windowed critical-path decomposition of completed-request latency.
+  /// All-zero (except `requests`) when metrics are compiled out.
+  const BlameBreakdown& blame() const { return blame_; }
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
+  /// Per-worker blame bookkeeping. A worker serves one request start-to-
+  /// finish, so the in-flight request's critical-path record is per-worker
+  /// state, sized once at start() — nothing per-request is allocated.
+  struct WorkerMark {
+    obs::TaskDelaySnapshot wait_snap;  ///< taken just before epoll_wait
+    SimTime wait_at = 0;
+    obs::TaskDelaySnapshot deq_snap;  ///< taken when the wait returned
+  };
+
   void schedule_arrival(SimTime at);
   void inject(SimTime now);
-  void complete(std::uint32_t slot, SimTime now);
+  void complete(std::uint32_t slot, SimTime now, int worker,
+                const obs::TaskDelaySnapshot& done_snap);
 
   kern::Kernel& k_;
   ServeHostConfig cfg_;
@@ -153,6 +218,8 @@ class ServeHost {
   Histogram queueing_;
   Histogram service_;
   Histogram sched_delay_;
+  BlameBreakdown blame_;
+  std::vector<WorkerMark> marks_;  ///< n_workers entries, sized at start()
 };
 
 struct FleetConfig {
@@ -205,6 +272,15 @@ struct FleetResult {
   /// The merged fleet document — every host's telemetry, per-host breakdown
   /// included — when sampling is enabled, else null.
   std::shared_ptr<obs::FleetMetricsDoc> fleet_metrics;
+  /// Request-latency blame, fleet-merged (host order) and per host. Also
+  /// exported as `serve.blame.*` counters on each host's metrics document
+  /// (and therefore summed into the fleet document) when
+  /// `FleetConfig.kernel.taskstats` is set.
+  BlameBreakdown blame;
+  std::vector<BlameBreakdown> host_blames;
+  /// Per-task delay accounting of the representative host (same pick as
+  /// `metrics`); null unless `kernel.taskstats` is set.
+  std::shared_ptr<obs::TaskstatsDoc> taskstats;
 };
 
 /// The fleet: owns the flat connection slab (all hosts, resident for the

@@ -1,0 +1,170 @@
+// The live progress feed's machine contract: `JsonlProgressSink` must emit
+// one well-formed JSON object per event no matter what the cell label
+// contains — sweep axes are built from workload and config names, and a
+// hostile name (quotes, backslashes, newlines, control bytes) must come out
+// escaped through common/json, not corrupt the JSONL stream. A tail-reader
+// parsing line-by-line is the consumer being protected here.
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eo::obs {
+namespace {
+
+/// Runs `evs` through a JsonlProgressSink writing to a temp file and returns
+/// the raw bytes the sink produced.
+std::string emit_jsonl(const std::vector<ProgressEvent>& evs) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  {
+    JsonlProgressSink sink(f);
+    for (const ProgressEvent& ev : evs) sink.emit(ev);
+  }
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  EXPECT_TRUE(cur.empty()) << "feed does not end in a newline";
+  return lines;
+}
+
+// A label exercising every escape class: quote, backslash, newline, tab,
+// carriage return, a raw control byte, and the folded-format delimiter.
+const char* kHostileLabel = "evil \"cell\"\\name;\nwith\ttabs\r\x01!";
+// What a conforming JSON parser hands back. common/json's validation-only
+// parser maps \uXXXX escapes (carriage return and the control byte, which
+// escape() emits as \u000d / \u0001) to '?'.
+const char* kHostileRoundTrip = "evil \"cell\"\\name;\nwith\ttabs??!";
+
+TEST(JsonlProgressSink, EveryEventKindIsOneParseableLine) {
+  std::vector<ProgressEvent> evs(5);
+  evs[0].kind = ProgressEvent::Kind::kHostStart;
+  evs[0].host = 0;
+  evs[0].n_hosts = 4;
+  evs[1].kind = ProgressEvent::Kind::kHostProgress;
+  evs[1].host = 0;
+  evs[1].n_hosts = 4;
+  evs[1].fraction = 0.25;
+  evs[1].completed = 10;
+  evs[1].shed = 1;
+  evs[2].kind = ProgressEvent::Kind::kHostFinish;
+  evs[2].host = 0;
+  evs[2].n_hosts = 4;
+  evs[2].completed = 40;
+  evs[2].shed = 2;
+  evs[2].watchdog_violations = 0;
+  evs[3].kind = ProgressEvent::Kind::kCellStart;
+  evs[3].label = kHostileLabel;
+  evs[3].total = 6;
+  evs[4].kind = ProgressEvent::Kind::kCellFinish;
+  evs[4].label = kHostileLabel;
+  evs[4].done = 1;
+  evs[4].total = 6;
+  evs[4].ok = true;
+  evs[4].exec_ms = 1.5;
+  evs[4].attempts = 1;
+
+  const std::vector<std::string> lines = split_lines(emit_jsonl(evs));
+  ASSERT_EQ(lines.size(), 5u);
+  const char* kinds[] = {"host_start", "host_progress", "host_finish",
+                         "cell_start", "cell_finish"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(lines[i], &v, &err))
+        << "line " << i << " is not valid JSON: " << err << "\n"
+        << lines[i];
+    ASSERT_TRUE(v.is_object());
+    const json::Value* event = v.get("event");
+    ASSERT_NE(event, nullptr);
+    ASSERT_TRUE(event->is_string());
+    EXPECT_EQ(event->str, kinds[i]);
+  }
+}
+
+TEST(JsonlProgressSink, HostileCellNameRoundTripsEscaped) {
+  ProgressEvent ev;
+  ev.kind = ProgressEvent::Kind::kCellFinish;
+  ev.label = kHostileLabel;
+  ev.done = 3;
+  ev.total = 9;
+  ev.ok = false;
+  ev.exec_ms = 0.25;
+  ev.attempts = 2;
+  const std::vector<std::string> lines = split_lines(emit_jsonl({ev}));
+  ASSERT_EQ(lines.size(), 1u);
+  // Raw newline/quote bytes inside the emitted line would break a tail
+  // reader; everything hostile must have been escaped.
+  EXPECT_EQ(lines[0].find('\n'), std::string::npos);
+  EXPECT_EQ(lines[0].find('\x01'), std::string::npos);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(lines[0], &v, &err)) << err << "\n" << lines[0];
+  const json::Value* cell = v.get("cell");
+  ASSERT_NE(cell, nullptr);
+  ASSERT_TRUE(cell->is_string());
+  EXPECT_EQ(cell->str, kHostileRoundTrip);
+  const json::Value* status = v.get("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->str, "incomplete");
+}
+
+TEST(JsonlProgressSink, NotApplicableCellStaysParseable) {
+  ProgressEvent ev;
+  ev.kind = ProgressEvent::Kind::kCellFinish;
+  ev.label = kHostileLabel;
+  ev.not_applicable = true;
+  ev.done = 2;
+  ev.total = 4;
+  const std::vector<std::string> lines = split_lines(emit_jsonl({ev}));
+  ASSERT_EQ(lines.size(), 1u);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(lines[0], &v, &err)) << err;
+  const json::Value* status = v.get("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->str, "n/a");
+}
+
+TEST(LineProgressSink, HostileCellNameDoesNotCrash) {
+  // The human feed makes no JSON promise, but it must not blow up either.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  {
+    LineProgressSink sink(f);
+    ProgressEvent ev;
+    ev.kind = ProgressEvent::Kind::kCellFinish;
+    ev.label = kHostileLabel;
+    ev.done = 1;
+    ev.total = 1;
+    ev.exec_ms = 1.0;
+    sink.emit(ev);
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace eo::obs

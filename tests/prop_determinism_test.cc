@@ -229,6 +229,70 @@ TEST(Determinism, FleetMetricsDocByteIdenticalAcrossJobsAndProgress) {
   std::fclose(devnull);
 }
 
+// The taskstats property from src/obs/taskstats.h: per-task delay accounting
+// is a pure function of the simulation. The embedded eo-taskstats section and
+// the folded flamegraph are byte-identical across reruns, and the fleet's
+// blame decomposition and representative-host taskstats are unperturbed by
+// host-thread fan-out.
+TEST(Determinism, TaskstatsByteIdenticalAcrossRunsAndJobs) {
+  const auto& spec = workloads::find_benchmark("ocean");
+  auto render_one = [&] {
+    RunConfig rc;
+    rc.cpus = 4;
+    rc.sockets = 2;
+    rc.seed = 7;
+    rc.features = core::Features::optimized();
+    rc.ref_footprint = spec.ref_footprint();
+    rc.deadline = 300_s;
+    rc.metrics.enabled = true;
+    rc.metrics.interval = 500_us;
+    rc.taskstats = true;
+    const auto r = run_experiment(rc, [&](kern::Kernel& k) {
+      workloads::spawn_benchmark(k, spec, 16, 42, 0.05);
+    });
+    EXPECT_TRUE(r.completed);
+    EXPECT_NE(r.metrics, nullptr);
+    EXPECT_NE(r.taskstats, nullptr);
+    std::string out = obs::render(*r.metrics, "json");
+    if (r.taskstats) out += obs::render_folded(*r.taskstats, "prop");
+    return out;
+  };
+  const std::string a = render_one();
+  const std::string b = render_one();
+  EXPECT_EQ(a, b);
+
+  auto render_fleet = [](std::size_t jobs) {
+    traffic::FleetConfig fc;
+    fc.n_hosts = 3;
+    fc.host.n_connections = 2048;
+    fc.host.max_pending = 1024;
+    fc.kernel.topo = hw::Topology::make_cores(4, 1);
+    fc.kernel.metrics.enabled = true;
+    fc.kernel.taskstats = true;
+    fc.arrival.rate_per_sec =
+        0.8 * 4e9 / traffic::mean_request_cost_ns(fc.host);
+    fc.warmup = 2_ms;
+    fc.window = 8_ms;
+    fc.drain = 2_ms;
+    fc.seed = 99;
+    fc.jobs = jobs;
+    traffic::ConnectionFleet fleet(fc);
+    const traffic::FleetResult r = fleet.run();
+    EXPECT_GT(r.completed, 0u);
+    std::string out =
+        r.taskstats ? obs::render_folded(*r.taskstats, "fleet") : std::string();
+    out += "|requests=" + std::to_string(r.blame.requests);
+#define EO_BLAME_LINE(name) \
+    out += "|" #name "=" + std::to_string(r.blame.name);
+    EO_SERVE_BLAME_FIELDS(EO_BLAME_LINE)
+#undef EO_BLAME_LINE
+    return out;
+  };
+  const std::string f1 = render_fleet(1);
+  const std::string f4 = render_fleet(4);
+  EXPECT_EQ(f1, f4);  // blame + taskstats must not depend on --jobs
+}
+
 // Sampling must be pure observation: turning metrics on cannot perturb the
 // simulation itself.
 TEST(Determinism, MetricsOnDoesNotPerturbSimulation) {

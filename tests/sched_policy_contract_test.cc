@@ -285,6 +285,40 @@ TEST_P(PolicyContractTest, OversubscribedRunDeterministicAndWatchdogClean) {
   EXPECT_EQ(r1.metrics->watchdog_violations, 0u);
 }
 
+// Every policy must keep the per-task delay accounting conserved: whatever
+// its dispatch order, VB parking, or skip handling does, each task's state
+// times must sum to its kernel-ground-truth lifetime, and the sampler's
+// per-tick conservation + consistency cross-check must stay violation-free.
+TEST_P(PolicyContractTest, TaskstatsConserved) {
+  if (!obs::kTaskstatsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const auto& spec = workloads::find_benchmark("cg");
+  metrics::RunConfig rc;
+  rc.cpus = 4;
+  rc.sockets = 1;
+  rc.sched = GetParam();
+  rc.features = core::Features::optimized();
+  rc.ref_footprint = spec.ref_footprint();
+  rc.deadline = 600_s;
+  rc.metrics.enabled = true;
+  rc.taskstats = true;
+  const auto r = metrics::run_experiment(rc, [&](kern::Kernel& k) {
+    workloads::spawn_benchmark(k, spec, 16, /*seed=*/7, /*scale=*/0.02);
+  });
+  ASSERT_TRUE(r.completed);
+  ASSERT_NE(r.taskstats, nullptr);
+  ASSERT_EQ(r.taskstats->tasks.size(), 16u);
+  for (const auto& t : r.taskstats->tasks) {
+    EXPECT_TRUE(t.finished);
+    EXPECT_EQ(t.times.total(), t.lifetime)
+        << GetParam() << ": " << t.name << "/" << t.tid;
+    EXPECT_GT(t.times[obs::TaskDelayState::kOncpu], 0)
+        << GetParam() << ": " << t.name << "/" << t.tid;
+  }
+  ASSERT_NE(r.metrics, nullptr);
+  EXPECT_GT(r.metrics->watchdog_checks, 0u);
+  EXPECT_EQ(r.metrics->watchdog_violations, 0u);
+}
+
 TEST_P(PolicyContractTest, ParallelHostsMatchSequentialRun) {
   // The fleet engine may fan its per-host kernels out onto host threads
   // (FleetConfig.jobs); every policy must produce bit-identical fleet
